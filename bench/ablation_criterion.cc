@@ -1,0 +1,64 @@
+// Split-criterion ablation (extension): gini (SPRINT / the paper) vs
+// entropy (information gain) over the same candidate enumeration. Reports
+// tree size, build time, and held-out accuracy per function -- the two
+// criteria usually agree on clean data and diverge slightly under noise.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/metrics.h"
+#include "data/sampling.h"
+
+namespace smptree {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Ablation: split criterion (gini vs entropy)",
+              "Serial builds, 10% label noise, 75/25 train/test split");
+  auto env = Env::NewMem();
+  TablePrinter t({"Function", "Criterion", "Build(s)", "Nodes",
+                  "Train acc", "Test acc"});
+  for (int function : {1, 5, 7}) {
+    SyntheticConfig cfg;
+    cfg.function = function;
+    cfg.num_attrs = 16;
+    cfg.num_tuples = ScaledTuples(8000);
+    cfg.label_noise = 0.10;
+    auto data = GenerateSynthetic(cfg);
+    if (!data.ok()) std::exit(1);
+    auto split = SplitTrainTest(*data, 0.25, 11);
+    if (!split.ok()) std::exit(1);
+
+    for (SplitCriterion criterion :
+         {SplitCriterion::kGini, SplitCriterion::kEntropy}) {
+      ClassifierOptions options;
+      options.build.gini.criterion = criterion;
+      options.build.env = env.get();
+      options.prune.method = PruneOptions::Method::kCostComplexity;
+      options.prune.split_penalty = 2.0;
+      auto result = TrainClassifier(split->train, options);
+      if (!result.ok()) std::exit(1);
+      t.AddRow({Fmt("F%d", function),
+                criterion == SplitCriterion::kGini ? "gini" : "entropy",
+                Fmt("%.3f", result->stats.build_seconds),
+                Fmt("%lld", static_cast<long long>(result->tree->num_nodes())),
+                Fmt("%.4f", TreeAccuracy(*result->tree, split->train)),
+                Fmt("%.4f", TreeAccuracy(*result->tree, split->test))});
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nexpected shape: comparable accuracy for both criteria (the classic\n"
+      "empirical result); entropy pays a log2() per class per candidate in\n"
+      "evaluation cost.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smptree
+
+int main() {
+  smptree::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// SLIQ vs serial SPRINT baseline comparison (paper section 2 discusses both;
+// SPRINT's design removes SLIQ's memory-resident class list at the cost of
+// physically partitioning the attribute lists each level). Both produce the
+// identical tree here, so the comparison isolates the data-management
+// trade-off: SLIQ's per-level full-list scans + class-list updates vs
+// SPRINT's list splitting + shrinking per-level working set.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sliq/sliq_builder.h"
+#include "util/string_util.h"
+
+namespace smptree {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Baseline: SLIQ vs serial SPRINT",
+              "Identical trees; build-time and data-management comparison");
+  auto env = Env::NewMem();
+  for (int function : {1, 7}) {
+    const Dataset data = MakeDataset(function, 32, ScaledTuples(10000));
+    std::printf("\n--- F%d-A32 ---\n", function);
+
+    const RunResult sprint =
+        RunBuild(data, Algorithm::kSerial, 1, env.get());
+
+    SliqOptions options;
+    auto sliq = TrainSliq(data, options);
+    if (!sliq.ok()) {
+      std::fprintf(stderr, "SLIQ failed: %s\n",
+                   sliq.status().ToString().c_str());
+      std::exit(1);
+    }
+
+    TablePrinter t({"Classifier", "Build(s)", "Total(s)", "Tree nodes",
+                    "Resident structure"});
+    t.AddRow({"SPRINT (serial)", Fmt("%.3f", sprint.stats.build_seconds),
+              Fmt("%.3f", sprint.stats.total_seconds),
+              Fmt("%lld", static_cast<long long>(sprint.stats.tree.num_nodes)),
+              "bit probe (" +
+                  HumanBytes((data.num_tuples() + 7) / 8) + ")"});
+    t.AddRow({"SLIQ", Fmt("%.3f", sliq->stats.build_seconds),
+              Fmt("%.3f", sliq->stats.total_seconds),
+              Fmt("%lld", static_cast<long long>(sliq->stats.tree.num_nodes)),
+              "class list (" + HumanBytes(sliq->stats.class_list_bytes) +
+                  ")"});
+    t.Print();
+  }
+  std::printf(
+      "\nnote: trees are bit-identical (verified by tests/sliq_test.cc).\n"
+      "Fully in memory, SLIQ is somewhat faster -- it moves no data, only\n"
+      "class-list entries. SPRINT's payoff is scalability, which is the\n"
+      "paper's point: no O(N) resident class list, its lists shrink as\n"
+      "pure children drop out, and the same build runs out-of-core and\n"
+      "parallel -- none of which SLIQ's central class list permits.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smptree
+
+int main() {
+  smptree::bench::Run();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces the paper's Figure 10: main-memory configuration (Machine B,
+// 8 processors), functions F1 and F7, 32 attributes, 250K records (scaled).
+// All temporary attribute files are RAM-resident (MemEnv), matching the
+// paper's "after the very first access the data will be cached in
+// main-memory" setting.
+
+#include "bench/bench_util.h"
+
+namespace smptree {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 10",
+              "Main-memory access: functions 1 and 7; 32 attributes; "
+              "250K records (scaled); MWK vs SUBTREE");
+  const std::vector<int> procs = {1, 2, 4, 8};
+  auto env = Env::NewMem();
+  for (int function : {1, 7}) {
+    const Dataset data = MakeDataset(function, 32, ScaledTuples(10000));
+    PrintSpeedupFigure("Figure 10",
+                       Fmt("F%d-A32 in memory (MemEnv)", function), data,
+                       env.get(), procs);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smptree
+
+int main() {
+  smptree::bench::Run();
+  return 0;
+}

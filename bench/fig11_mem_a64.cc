@@ -1,0 +1,32 @@
+// Reproduces the paper's Figure 11: main-memory configuration (Machine B),
+// functions F1 and F7, 64 attributes, 125K records (scaled), MWK vs SUBTREE
+// up to 8 processors.
+
+#include "bench/bench_util.h"
+
+namespace smptree {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 11",
+              "Main-memory access: functions 1 and 7; 64 attributes; "
+              "125K records (scaled); MWK vs SUBTREE");
+  const std::vector<int> procs = {1, 2, 4, 8};
+  auto env = Env::NewMem();
+  for (int function : {1, 7}) {
+    const Dataset data = MakeDataset(function, 64, ScaledTuples(5000));
+    PrintSpeedupFigure("Figure 11",
+                       Fmt("F%d-A64 in memory (MemEnv)", function), data,
+                       env.get(), procs);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smptree
+
+int main() {
+  smptree::bench::Run();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces the paper's Figure 9: local-disk configuration (Machine A),
+// functions F1 and F7, 64 attributes, 125K records (scaled). Doubling the
+// attribute count at halved tuple count isolates the "number of attributes"
+// axis: more attribute lists to evaluate and split each level. The paper's
+// finding: more attributes worsen SUBTREE (FREE-queue rejoin waits grow with
+// per-level work) but improve MWK's dynamic attribute balancing.
+
+#include "bench/bench_util.h"
+
+namespace smptree {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 9",
+              "Local disk access: functions 1 and 7; 64 attributes; "
+              "125K records (scaled); MWK vs SUBTREE");
+  const std::vector<int> procs = {1, 2, 4};
+  for (int function : {1, 7}) {
+    const Dataset data = MakeDataset(function, 64, ScaledTuples(5000));
+    PrintSpeedupFigure("Figure 9",
+                       Fmt("F%d-A64 on local disk (PosixEnv)", function),
+                       data, Env::Posix(), procs);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smptree
+
+int main() {
+  smptree::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces the paper's Table 1: dataset characteristics and sequential
+// setup & sort times for the four evaluation datasets
+// (F1/F7 x {A32-D250K, A64-D125K}, scaled by SMPTREE_BENCH_SCALE).
+//
+// Columns: DB size, tree levels, max leaves/level, setup time, sort time,
+// total (serial) time, setup %, sort %. The paper's qualitative finding to
+// reproduce: setup+sort dominate for the simple function F1 (small trees,
+// cheap build) and are negligible for the complex function F7.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/string_util.h"
+
+namespace smptree {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Table 1",
+              "Dataset characteristics, and sequential setup and sorting "
+              "times (serial SPRINT, in-memory env)");
+
+  struct Config {
+    int function;
+    int attrs;
+    int64_t base_tuples;
+  };
+  const Config configs[] = {
+      {1, 32, 10000}, {7, 32, 10000}, {1, 64, 5000}, {7, 64, 5000}};
+
+  TablePrinter t({"Dataset", "DB Size", "Levels", "MaxLeaves/Lvl", "Setup(s)",
+                  "Sort(s)", "Total(s)", "Setup%", "Sort%"});
+  auto env = Env::NewMem();
+  for (const Config& c : configs) {
+    const int64_t tuples = ScaledTuples(c.base_tuples);
+    SyntheticConfig cfg;
+    cfg.function = c.function;
+    cfg.num_attrs = c.attrs;
+    cfg.num_tuples = tuples;
+    const Dataset data = MakeDataset(c.function, c.attrs, tuples);
+    const RunResult run =
+        RunBuild(data, Algorithm::kSerial, 1, env.get());
+    const TrainStats& s = run.stats;
+    t.AddRow({cfg.Name(), HumanBytes(data.SizeBytes()),
+              Fmt("%d", s.tree.levels),
+              Fmt("%lld", static_cast<long long>(s.tree.max_leaves_per_level)),
+              Fmt("%.3f", s.setup_seconds), Fmt("%.3f", s.sort_seconds),
+              Fmt("%.3f", s.total_seconds),
+              Fmt("%.1f%%", 100.0 * s.setup_seconds / s.total_seconds),
+              Fmt("%.1f%%", 100.0 * s.sort_seconds / s.total_seconds)});
+  }
+  t.Print();
+  std::printf(
+      "\nexpected shape (paper): F1 datasets spend a large fraction of total\n"
+      "time in setup+sort; F7 datasets spend almost none (build dominates).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smptree
+
+int main() {
+  smptree::bench::Run();
+  return 0;
+}

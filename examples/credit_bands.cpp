@@ -1,0 +1,69 @@
+// Multiclass scenario: credit-scoring bands. The published benchmark is
+// two-class; the library's multiclass generator quantizes the
+// disposable-income surface into k bands, here standing in for credit
+// grades A-E. Demonstrates k-way classification end-to-end: training with
+// SUBTREE+MWK (the hybrid of paper section 3.4), per-band confusion, the
+// entropy criterion as an alternative, and Graphviz export.
+//
+//   $ ./build/examples/credit_bands
+
+#include <cstdio>
+
+#include "core/classifier.h"
+#include "core/dot_export.h"
+#include "core/metrics.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace smptree;
+
+  MulticlassConfig cfg;
+  cfg.num_classes = 5;  // grades A..E
+  cfg.num_attrs = 12;
+  cfg.num_tuples = 25000;
+  cfg.label_noise = 0.05;
+  cfg.seed = 31337;
+  auto generated = GenerateMulticlassSynthetic(cfg);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+    return 1;
+  }
+  auto split = SplitTrainTest(*generated, 0.25, 9);
+  if (!split.ok()) return 1;
+  std::printf("credit dataset: %d grades, %lld train tuples, 5%% noise\n",
+              cfg.num_classes,
+              static_cast<long long>(split->train.num_tuples()));
+
+  for (SplitCriterion criterion :
+       {SplitCriterion::kGini, SplitCriterion::kEntropy}) {
+    ClassifierOptions options;
+    options.build.algorithm = Algorithm::kSubtree;
+    options.build.subtree_subroutine = Algorithm::kMwk;
+    options.build.num_threads = 4;
+    options.build.gini.criterion = criterion;
+    options.prune.method = PruneOptions::Method::kCostComplexity;
+    options.prune.split_penalty = 2.0;
+    auto result = TrainClassifier(split->train, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n[%s] %lld nodes, %d levels, built in %.3fs\n",
+                criterion == SplitCriterion::kGini ? "gini" : "entropy",
+                static_cast<long long>(result->tree->num_nodes()),
+                result->tree->Stats().levels, result->stats.build_seconds);
+    const ConfusionMatrix cm =
+        EvaluateTreeParallel(*result->tree, split->test, 4);
+    std::printf("%s", cm.ToString(generated->schema()).c_str());
+
+    if (criterion == SplitCriterion::kGini) {
+      DotOptions dot;
+      dot.show_counts = false;
+      const std::string graph = TreeToDot(*result->tree, dot);
+      std::printf("\nGraphviz export: %zu bytes (pipe through `dot -Tpng`)\n",
+                  graph.size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Out-of-core training: the paper's Machine A configuration, where the
+// attribute lists do not fit in memory and every level's lists round-trip
+// through physical files on local disk. The builders are identical -- only
+// the storage Env changes -- and this example reports the file traffic the
+// reusable four-files-per-attribute scheme generates.
+//
+//   $ ./build/examples/out_of_core [num_tuples]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/classifier.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace smptree;
+
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_attrs = 32;
+  cfg.num_tuples = argc > 1 ? std::atoll(argv[1]) : 20000;
+  auto data = GenerateSynthetic(cfg);
+  if (!data.ok()) return 1;
+  std::printf("dataset %s, %s in memory\n", cfg.Name().c_str(),
+              data->SizeBytes() > (1u << 20) ? "MBs" : "KBs");
+
+  for (bool on_disk : {false, true}) {
+    ClassifierOptions options;
+    options.build.algorithm = Algorithm::kMwk;
+    options.build.num_threads = 4;
+    options.build.env = on_disk ? Env::Posix() : nullptr;
+    auto result = TrainClassifier(*data, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const TrainStats& stats = result->stats;
+    const uint64_t bytes_moved =
+        (stats.records_read + stats.records_written) * sizeof(AttrRecord);
+    std::printf(
+        "\n[%s] build %.3fs, total %.3fs\n"
+        "  attribute-file traffic: %llu records read, %llu written "
+        "(~%.1f MB through the storage layer)\n"
+        "  tree: %lld nodes, %d levels; training accuracy %.4f\n",
+        on_disk ? "posix disk files (Machine A)" : "in-memory files (Machine B)",
+        stats.build_seconds, stats.total_seconds,
+        static_cast<unsigned long long>(stats.records_read),
+        static_cast<unsigned long long>(stats.records_written),
+        static_cast<double>(bytes_moved) / (1 << 20),
+        static_cast<long long>(stats.tree.num_nodes), stats.tree.levels,
+        TreeAccuracy(*result->tree, *data));
+  }
+  std::printf(
+      "\nboth runs build the identical tree; only where the attribute\n"
+      "lists live differs (paper sections 4.2 vs 4.3).\n");
+  return 0;
+}

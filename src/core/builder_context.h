@@ -1,0 +1,215 @@
+// BuildContext: the level-step engine every builder drives (paper section 3):
+//
+//   E  EvaluateAttrForLeaves / EvaluateLeafAttr -- gini split evaluation of
+//      one attribute over leaves of the current level;
+//   W  RunW -- pick the winning split of a leaf from the per-attribute
+//      candidates, scan the winner's list to build the tid probe, tally the
+//      child class histograms, apply the child-purity pre-test, and create
+//      the child nodes;
+//   S  SplitAttribute -- partition one attribute's lists of every leaf into
+//      the children via the probe, appending into the next level's slot
+//      files (records of finalized children are dropped);
+//
+// plus AssignChildSlots (the Figure 5 child relabelling) and AdvanceLevel.
+//
+// The engine is deliberately thread-agnostic: the serial builder calls these
+// in a straight loop; BASIC/FWK/MWK/SUBTREE interleave the same calls under
+// their own scheduling and synchronization. Safety contract per call is
+// documented on each method.
+
+#ifndef SMPTREE_CORE_BUILDER_CONTEXT_H_
+#define SMPTREE_CORE_BUILDER_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/gini.h"
+#include "core/presort.h"
+#include "core/probe.h"
+#include "core/tree.h"
+#include "data/dataset.h"
+#include "storage/level_storage.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace smptree {
+
+/// Tree-building algorithm selector.
+enum class Algorithm {
+  kSerial,          ///< serial SPRINT (section 2)
+  kBasic,           ///< attribute data parallelism, master W (section 3.2.1)
+  kFwk,             ///< fixed-window-K pipelining (section 3.2.2)
+  kMwk,             ///< moving-window-K (section 3.2.3)
+  kSubtree,         ///< dynamic subtree task parallelism (section 3.3)
+  kRecordParallel,  ///< record data parallelism (the SP/distributed scheme
+                    ///< the paper argues is ill-suited to SMPs; ablation)
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// One tree level's working-set shape: how many unfinalized leaves the
+/// builders processed at that depth and how many attribute-list records
+/// (per attribute) they held. The per-level record volume decays as pure
+/// children are dropped -- the curve the paper's file-reuse scheme rides.
+struct LevelTraceEntry {
+  int level = 0;  ///< depth (root = 0)
+  int64_t leaves = 0;
+  int64_t records = 0;
+};
+
+/// Everything configurable about a build.
+struct BuildOptions {
+  Algorithm algorithm = Algorithm::kSerial;
+  int num_threads = 1;
+  /// Window size K for FWK/MWK (the paper finds 4 works well). Also the
+  /// per-group window when SUBTREE runs with the MWK subroutine.
+  int window = 4;
+  /// Per-group level subroutine for SUBTREE: kBasic (the paper's default)
+  /// or kMwk (the hybrid the paper suggests in section 3.4: "we can also
+  /// use FWK or MWK as the subroutine").
+  Algorithm subtree_subroutine = Algorithm::kBasic;
+  /// Children with fewer records become leaves without further splitting.
+  int64_t min_split = 2;
+  /// Maximum number of tree levels (0 = unlimited).
+  int max_levels = 0;
+  /// Turn off the Figure 5 child relabelling (ablation only; leaves the
+  /// "holes" of the simple assignment scheme in the slot schedule).
+  bool relabel_children = true;
+  GiniOptions gini;
+  /// Storage environment; nullptr selects the in-memory Env (Machine B).
+  /// Pass Env::Posix() for the paper's local-disk configuration (Machine A).
+  Env* env = nullptr;
+  /// Scratch directory for attribute files; empty picks a unique directory
+  /// under the system temp dir (PosixEnv) or a fixed namespace (MemEnv).
+  std::string scratch_dir;
+  /// Threads used for attribute-list pre-sorting (setup parallelization,
+  /// the paper's suggested improvement; 1 = paper-faithful sequential).
+  int sort_threads = 1;
+
+  Status Validate() const;
+};
+
+/// Per-leaf state for the current tree level.
+struct LeafTask {
+  NodeId node = kInvalidNode;
+  Segment seg;           ///< where this leaf's lists live (current set)
+  ClassHistogram hist;   ///< class distribution of the leaf
+
+  /// Filled during E: best candidate per attribute (index = attr).
+  std::vector<SplitCandidate> candidates;
+
+  /// Filled during W.
+  SplitCandidate winner;
+  NodeId child_node[2] = {kInvalidNode, kInvalidNode};
+  bool child_active[2] = {false, false};  ///< false: finalized as leaf (or none)
+  ClassHistogram child_hist[2];
+  /// Filled by AssignChildSlots for active children.
+  Segment child_seg[2];
+};
+
+/// The level-step engine. One instance per build (SUBTREE: per build, shared
+/// by all groups; each group owns its own storage and leaf vectors).
+class BuildContext {
+ public:
+  /// `tree` must be empty; `probe` is sized here. Storage is created inside
+  /// (num_slots from the options/algorithm) unless a SUBTREE group supplies
+  /// its own per-group storage to the per-call overloads.
+  BuildContext(const Dataset& data, const BuildOptions& options,
+               DecisionTree* tree, BuildCounters* counters);
+
+  const Dataset& data() const { return *data_; }
+  const BuildOptions& options() const { return options_; }
+  DecisionTree* tree() { return tree_; }
+  SplitProbe* probe() { return &probe_; }
+  BuildCounters* counters() { return counters_; }
+  LevelStorage* storage() { return storage_.get(); }
+  Env* env() { return env_; }
+  const std::string& scratch_dir() const { return scratch_dir_; }
+
+  /// Number of slot files per attribute for the configured algorithm
+  /// (2 for serial/BASIC/SUBTREE groups, K for FWK/MWK).
+  int num_slots() const;
+
+  /// Creates the scratch dir + storage, loads the pre-sorted attribute
+  /// lists (consuming them), creates the tree root, and returns the root
+  /// LeafTask in `level`. Single-threaded.
+  Status InitRoot(AttributeLists lists, std::vector<LeafTask>* level);
+
+  /// E over one attribute for a contiguous run of leaves (BASIC-style
+  /// scheduling unit). Safe concurrently for distinct attributes. The
+  /// `storage` overloads serve SUBTREE groups with their own file sets.
+  Status EvaluateAttrForLeaves(int attr, std::vector<LeafTask>* level,
+                               size_t first_leaf, size_t leaf_limit,
+                               GiniScratch* scratch, LevelStorage* storage);
+  Status EvaluateAttrForLeaves(int attr, std::vector<LeafTask>* level,
+                               size_t first_leaf, size_t leaf_limit,
+                               GiniScratch* scratch) {
+    return EvaluateAttrForLeaves(attr, level, first_leaf, leaf_limit, scratch,
+                                 storage_.get());
+  }
+
+  /// E for one (leaf, attribute) pair (FWK/MWK scheduling unit). Safe
+  /// concurrently for distinct (leaf, attr) pairs.
+  Status EvaluateLeafAttr(LeafTask* leaf, int attr, GiniScratch* scratch,
+                          LevelStorage* storage);
+  Status EvaluateLeafAttr(LeafTask* leaf, int attr, GiniScratch* scratch) {
+    return EvaluateLeafAttr(leaf, attr, scratch, storage_.get());
+  }
+
+  /// W for one leaf: requires all its candidates filled (happens-before via
+  /// the caller's synchronization). Safe concurrently for distinct leaves.
+  /// Uses `storage` (the group's own for SUBTREE) to read the winner list.
+  Status RunW(LeafTask* leaf, LevelStorage* storage);
+  Status RunW(LeafTask* leaf) { return RunW(leaf, storage_.get()); }
+
+  /// Assigns slots/offsets to active children of the whole level in
+  /// relabelled order. Single-threaded (between W and S).
+  void AssignChildSlots(std::vector<LeafTask>* level, int num_slots) const;
+
+  /// S over one attribute for all leaves of the level, in order. Safe
+  /// concurrently for distinct attributes. Flushes the attribute's
+  /// alternate files at the end.
+  Status SplitAttribute(int attr, const std::vector<LeafTask>& level,
+                        LevelStorage* storage);
+  Status SplitAttribute(int attr, const std::vector<LeafTask>& level) {
+    return SplitAttribute(attr, level, storage_.get());
+  }
+
+  /// Collects the next level's LeafTasks (active children, in relabelled
+  /// order) and accumulates the processed level into the trace. Called once
+  /// per level per (group-)master; safe across concurrent SUBTREE groups.
+  std::vector<LeafTask> CollectNextLevel(const std::vector<LeafTask>& level);
+
+  /// Frontier shape per depth, aggregated across SUBTREE groups; sorted by
+  /// level. Call after the build completes.
+  std::vector<LevelTraceEntry> LevelTrace() const;
+
+  /// Levels grown so far (for max_levels enforcement and stats).
+  int levels_built() const { return levels_built_; }
+  void set_levels_built(int levels) { levels_built_ = levels; }
+
+ private:
+  const Dataset* data_;
+  BuildOptions options_;
+  DecisionTree* tree_;
+  BuildCounters* counters_;
+  Env* env_;
+  std::unique_ptr<Env> owned_env_;  // when options.env == nullptr
+  std::string scratch_dir_;
+  std::unique_ptr<LevelStorage> storage_;
+  SplitProbe probe_;
+  int levels_built_ = 0;
+
+  mutable std::mutex trace_mutex_;
+  std::map<int, LevelTraceEntry> trace_;  // keyed by depth
+};
+
+/// Picks a unique scratch directory for a build ("<base>/smptree-<n>").
+std::string MakeScratchDir(Env* env, const std::string& requested);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_BUILDER_CONTEXT_H_

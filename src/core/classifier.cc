@@ -1,0 +1,97 @@
+#include "core/classifier.h"
+
+#include "core/serial_builder.h"
+#include "parallel/basic_builder.h"
+#include "parallel/fwk_builder.h"
+#include "parallel/mwk_builder.h"
+#include "parallel/record_parallel.h"
+#include "parallel/subtree_builder.h"
+#include "util/timer.h"
+
+namespace smptree {
+
+namespace {
+
+Status RunBuild(BuildContext* ctx, std::vector<LeafTask> level) {
+  switch (ctx->options().algorithm) {
+    case Algorithm::kSerial:
+      return BuildTreeSerial(ctx, std::move(level));
+    case Algorithm::kBasic:
+      return BuildTreeBasic(ctx, std::move(level));
+    case Algorithm::kFwk:
+      return BuildTreeFwk(ctx, std::move(level));
+    case Algorithm::kMwk:
+      return BuildTreeMwk(ctx, std::move(level));
+    case Algorithm::kSubtree:
+      return BuildTreeSubtree(ctx, std::move(level));
+    case Algorithm::kRecordParallel:
+      return BuildTreeRecordParallel(ctx, std::move(level));
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace
+
+Result<TrainResult> TrainClassifier(const Dataset& data,
+                                    const ClassifierOptions& options) {
+  SMPTREE_RETURN_IF_ERROR(options.build.Validate());
+  SMPTREE_RETURN_IF_ERROR(data.schema().Validate());
+  if (data.num_tuples() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+
+  TrainResult result;
+  result.tree = std::make_unique<DecisionTree>(data.schema());
+  BuildCounters counters;
+
+  Timer total;
+
+  // Setup + sort phases (timed inside BuildAttributeLists).
+  SMPTREE_ASSIGN_OR_RETURN(AttributeLists lists,
+                           BuildAttributeLists(data, options.build.sort_threads));
+  result.stats.setup_seconds = lists.setup_seconds;
+  result.stats.sort_seconds = lists.sort_seconds;
+
+  // Build phase.
+  Timer build_timer;
+  BuildContext ctx(data, options.build, result.tree.get(), &counters);
+  {
+    std::vector<LeafTask> level;
+    SMPTREE_RETURN_IF_ERROR(ctx.InitRoot(std::move(lists), &level));
+    Status build_status = RunBuild(&ctx, std::move(level));
+    if (!build_status.ok()) {
+      // Best-effort scratch cleanup before reporting the failure.
+      ctx.env()->RemoveDirRecursive(ctx.scratch_dir());
+      return build_status;
+    }
+  }
+  result.stats.build_seconds = build_timer.Seconds();
+  result.stats.tree = result.tree->Stats();
+
+  // Prune phase.
+  Timer prune_timer;
+  result.stats.nodes_pruned = PruneTree(result.tree.get(), options.prune);
+  result.stats.prune_seconds = prune_timer.Seconds();
+
+  result.stats.total_seconds = total.Seconds();
+  result.stats.records_read = ctx.storage()->records_read();
+  result.stats.records_written = ctx.storage()->records_written();
+  result.stats.barrier_waits = counters.barrier_waits.load();
+  result.stats.condvar_waits = counters.condvar_waits.load();
+  result.stats.attr_tasks = counters.attr_tasks.load();
+  result.stats.free_queue_rounds = counters.free_queue_rounds.load();
+  result.stats.wait_seconds =
+      static_cast<double>(counters.wait_nanos.load()) / 1e9;
+  result.stats.e_phase_seconds =
+      static_cast<double>(counters.e_nanos.load()) / 1e9;
+  result.stats.w_phase_seconds =
+      static_cast<double>(counters.w_nanos.load()) / 1e9;
+  result.stats.s_phase_seconds =
+      static_cast<double>(counters.s_nanos.load()) / 1e9;
+  result.stats.level_trace = ctx.LevelTrace();
+
+  SMPTREE_RETURN_IF_ERROR(ctx.env()->RemoveDirRecursive(ctx.scratch_dir()));
+  return result;
+}
+
+}  // namespace smptree

@@ -1,0 +1,69 @@
+#include "core/dot_export.h"
+
+#include <functional>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+namespace {
+
+/// Escapes characters special inside DOT double-quoted strings.
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TreeToDot(const DecisionTree& tree, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  if (options.left_to_right) os << "  rankdir=LR;\n";
+  os << "  node [fontname=\"Helvetica\"];\n";
+  if (tree.num_nodes() == 0) {
+    os << "}\n";
+    return os.str();
+  }
+
+  int64_t next_id = 0;
+  std::function<int64_t(NodeId)> emit = [&](NodeId id) -> int64_t {
+    const TreeNode& n = tree.node(id);
+    const int64_t out_id = next_id++;
+    if (n.is_leaf()) {
+      // Escape user-controlled text only; the \n below is intentional DOT
+      // label markup and must survive verbatim.
+      std::string label = DotEscape(tree.schema().class_name(n.majority));
+      if (options.show_counts) {
+        label += "\\n[";
+        for (size_t c = 0; c < n.class_counts.size(); ++c) {
+          if (c) label += ", ";
+          label += StringPrintf(
+              "%lld", static_cast<long long>(n.class_counts[c]));
+        }
+        label += "]";
+      }
+      os << "  n" << out_id << " [shape=box, style=rounded, label=\""
+         << label << "\"];\n";
+      return out_id;
+    }
+    os << "  n" << out_id << " [shape=ellipse, label=\""
+       << DotEscape(n.split.ToString(tree.schema())) << "\"];\n";
+    const int64_t left = emit(n.left);
+    const int64_t right = emit(n.right);
+    os << "  n" << out_id << " -> n" << left << " [label=\"yes\"];\n";
+    os << "  n" << out_id << " -> n" << right << " [label=\"no\"];\n";
+    return out_id;
+  };
+  emit(tree.root());
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace smptree

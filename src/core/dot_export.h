@@ -1,0 +1,26 @@
+// Graphviz DOT export for decision trees: render with
+//   dot -Tpng tree.dot -o tree.png
+// Internal nodes show the split test; leaves show the class and training
+// distribution; edges are labelled yes/no.
+
+#ifndef SMPTREE_CORE_DOT_EXPORT_H_
+#define SMPTREE_CORE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "core/tree.h"
+
+namespace smptree {
+
+struct DotOptions {
+  std::string graph_name = "decision_tree";
+  bool show_counts = true;   ///< append the class distribution to leaves
+  bool left_to_right = false;  ///< rankdir=LR instead of top-down
+};
+
+/// Renders `tree` as a DOT digraph.
+std::string TreeToDot(const DecisionTree& tree, const DotOptions& options = {});
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_DOT_EXPORT_H_

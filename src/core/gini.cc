@@ -1,0 +1,270 @@
+#include "core/gini.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace smptree {
+
+namespace {
+
+/// Midpoint between two consecutive distinct float values, nudged so that
+/// `lo < mid <= hi` holds even when rounding collapses the midpoint onto
+/// `lo` (then the test `value < mid` still separates lo from hi).
+float SplitMidpoint(float lo, float hi) {
+  assert(lo < hi);
+  const float mid = lo + (hi - lo) * 0.5f;
+  return mid > lo ? mid : hi;
+}
+
+/// Evaluates one categorical subset mask against the count matrix,
+/// tightening `best` when the partition is proper and strictly better.
+void ConsiderSubset(int attr, uint64_t mask, const CountMatrix& matrix,
+                    const ClassHistogram& total, SplitCriterion criterion,
+                    GiniScratch* scratch, SplitCandidate* best) {
+  matrix.SubsetHistogram(mask, &scratch->below);
+  const int64_t nl = scratch->below.Total();
+  const int64_t n = total.Total();
+  if (nl == 0 || nl == n) return;  // degenerate partition
+  scratch->above = total;
+  scratch->above.Subtract(scratch->below);
+  const double gini = SplitImpurity(scratch->below, scratch->above, criterion);
+  SplitCandidate candidate;
+  candidate.test.attr = attr;
+  candidate.test.categorical = true;
+  candidate.test.subset = mask;
+  candidate.gini = gini;
+  candidate.left_count = nl;
+  candidate.right_count = n - nl;
+  if (candidate.BetterThan(*best)) *best = candidate;
+}
+
+}  // namespace
+
+SplitCandidate EvaluateContinuousAttr(int attr,
+                                      std::span<const AttrRecord> records,
+                                      const ClassHistogram& total,
+                                      const GiniOptions& options,
+                                      GiniScratch* scratch) {
+  SplitCandidate best;
+  const size_t n = records.size();
+  if (n < 2) return best;
+
+  scratch->below.Reset(total.num_classes());
+  scratch->above = total;
+
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const AttrRecord& rec = records[i];
+    scratch->below.Add(rec.label);
+    scratch->above.Remove(rec.label);
+    const float v = rec.value.f;
+    const float next = records[i + 1].value.f;
+    assert(v <= next && "continuous attribute list must be sorted");
+    if (v == next) continue;  // not a class boundary between equal values
+    const double gini =
+        SplitImpurity(scratch->below, scratch->above, options.criterion);
+    SplitCandidate candidate;
+    candidate.test.attr = attr;
+    candidate.test.categorical = false;
+    candidate.test.threshold = SplitMidpoint(v, next);
+    candidate.gini = gini;
+    candidate.left_count = static_cast<int64_t>(i) + 1;
+    candidate.right_count = static_cast<int64_t>(n - i) - 1;
+    if (candidate.BetterThan(best)) best = candidate;
+  }
+  return best;
+}
+
+namespace {
+
+/// Large-domain greedy over a tabulated matrix (see
+/// EvaluateCategoricalLargeAttr).
+SplitCandidate LargeFromMatrix(int attr, const CountMatrix& matrix,
+                               const ClassHistogram& total,
+                               SplitCriterion criterion) {
+  SplitCandidate best;
+  const int cardinality = matrix.cardinality();
+  assert(cardinality > 64 && cardinality <= kMaxCategoricalCardinality);
+  const int num_classes = total.num_classes();
+  const int64_t n = total.Total();
+
+  // Greedy hill-climbing with incremental histograms: moving value v from
+  // the right side to the left adds the matrix row v to `left` and removes
+  // it from `right`; trial ginis are computed from the row deltas without
+  // copying histograms.
+  std::vector<uint64_t> mask((static_cast<size_t>(cardinality) + 63) / 64, 0);
+  ClassHistogram left(num_classes);
+  ClassHistogram right = total;
+  double best_gini = 1e30;  // +inf sentinel (entropy can exceed gini's 2.0)
+
+  auto trial_gini = [&](int v) {
+    int64_t nl = 0;
+    int64_t nr = 0;
+    double sum_l = 0.0;
+    double sum_r = 0.0;
+    for (int c = 0; c < num_classes; ++c) {
+      const int64_t delta = matrix.count(v, c);
+      nl += left.count(c) + delta;
+      nr += right.count(c) - delta;
+    }
+    if (nl == 0 || nr == 0) return 1e30;  // degenerate partition
+    if (criterion == SplitCriterion::kGini) {
+      for (int c = 0; c < num_classes; ++c) {
+        const int64_t delta = matrix.count(v, c);
+        const double pl = static_cast<double>(left.count(c) + delta) /
+                          static_cast<double>(nl);
+        const double pr = static_cast<double>(right.count(c) - delta) /
+                          static_cast<double>(nr);
+        sum_l += pl * pl;
+        sum_r += pr * pr;
+      }
+      const double wl = static_cast<double>(nl) / static_cast<double>(n);
+      return wl * (1.0 - sum_l) + (1.0 - wl) * (1.0 - sum_r);
+    }
+    // Entropy: sums accumulate -p log2 p directly.
+    for (int c = 0; c < num_classes; ++c) {
+      const int64_t delta = matrix.count(v, c);
+      const double pl = static_cast<double>(left.count(c) + delta) /
+                        static_cast<double>(nl);
+      const double pr = static_cast<double>(right.count(c) - delta) /
+                        static_cast<double>(nr);
+      if (pl > 0.0) sum_l -= pl * std::log2(pl);
+      if (pr > 0.0) sum_r -= pr * std::log2(pr);
+    }
+    const double wl = static_cast<double>(nl) / static_cast<double>(n);
+    return wl * sum_l + (1.0 - wl) * sum_r;
+  };
+
+  for (;;) {
+    int best_v = -1;
+    double round_best = best_gini;
+    for (int v = 0; v < cardinality; ++v) {
+      if ((mask[v >> 6] >> (v & 63)) & 1) continue;
+      if (matrix.ValueTotal(v) == 0) continue;  // no-op move
+      const double g = trial_gini(v);
+      if (g < round_best) {  // strict: stop when no improvement (ties keep
+        round_best = g;      // the smaller subset, like the <=64 path)
+        best_v = v;
+      }
+    }
+    if (best_v < 0) break;
+    mask[best_v >> 6] |= uint64_t{1} << (best_v & 63);
+    for (int c = 0; c < num_classes; ++c) {
+      const int64_t delta = matrix.count(best_v, c);
+      left.Add(static_cast<ClassLabel>(c), delta);
+      right.Remove(static_cast<ClassLabel>(c), delta);
+    }
+    best_gini = round_best;
+  }
+
+  if (left.Total() == 0 || left.Total() == n) return best;  // no valid split
+  best.test.attr = attr;
+  best.test.categorical = true;
+  best.test.big_subset =
+      std::make_shared<const std::vector<uint64_t>>(std::move(mask));
+  best.gini = best_gini;
+  best.left_count = left.Total();
+  best.right_count = right.Total();
+  return best;
+}
+
+/// Exhaustive / small-greedy search over a tabulated matrix.
+SplitCandidate SmallFromMatrix(int attr, const CountMatrix& matrix,
+                               const ClassHistogram& total,
+                               const GiniOptions& options,
+                               GiniScratch* scratch) {
+  SplitCandidate best;
+  const int cardinality = matrix.cardinality();
+  if (cardinality <= options.max_exhaustive_cardinality) {
+    // All proper subsets. Complementary masks give the same partition; since
+    // masks are visited in ascending order and BetterThan is strict on equal
+    // gini (up to tie-break), the smaller mask of each pair wins
+    // deterministically.
+    const uint64_t limit = (uint64_t{1} << cardinality) - 1;
+    for (uint64_t mask = 1; mask < limit; ++mask) {
+      ConsiderSubset(attr, mask, matrix, total, options.criterion, scratch,
+                     &best);
+    }
+    return best;
+  }
+
+  // Greedy subsetting (paper section 2.2: "if the cardinality is too large a
+  // greedy subsetting algorithm is used"): grow the subset one value at a
+  // time, keeping the addition that lowers gini the most, until no addition
+  // improves it.
+  uint64_t current = 0;
+  SplitCandidate current_best;  // best seen for the grown subset
+  for (;;) {
+    SplitCandidate round_best = current_best;
+    uint64_t round_mask = 0;
+    for (int v = 0; v < cardinality; ++v) {
+      const uint64_t bit = uint64_t{1} << v;
+      if (current & bit) continue;
+      SplitCandidate trial = round_best;
+      ConsiderSubset(attr, current | bit, matrix, total, options.criterion,
+                     scratch, &trial);
+      if (trial.BetterThan(round_best)) {
+        round_best = trial;
+        round_mask = current | bit;
+      }
+    }
+    if (round_mask == 0) break;  // no addition improved the split
+    current = round_mask;
+    current_best = round_best;
+  }
+  return current_best;
+}
+
+}  // namespace
+
+SplitCandidate EvaluateCategoricalFromMatrix(int attr,
+                                             const CountMatrix& matrix,
+                                             const ClassHistogram& total,
+                                             const GiniOptions& options,
+                                             GiniScratch* scratch) {
+  if (matrix.cardinality() > 64) {
+    return LargeFromMatrix(attr, matrix, total, options.criterion);
+  }
+  return SmallFromMatrix(attr, matrix, total, options, scratch);
+}
+
+SplitCandidate EvaluateCategoricalLargeAttr(
+    int attr, std::span<const AttrRecord> records, const ClassHistogram& total,
+    int cardinality, GiniScratch* scratch) {
+  if (records.size() < 2) return SplitCandidate();
+  CountMatrix& matrix = scratch->matrix;
+  matrix.Reset(cardinality, total.num_classes());
+  for (const AttrRecord& rec : records) {
+    matrix.Add(rec.value.cat, rec.label);
+  }
+  return LargeFromMatrix(attr, matrix, total, SplitCriterion::kGini);
+}
+
+SplitCandidate EvaluateCategoricalAttr(int attr,
+                                       std::span<const AttrRecord> records,
+                                       const ClassHistogram& total,
+                                       int cardinality,
+                                       const GiniOptions& options,
+                                       GiniScratch* scratch) {
+  assert(cardinality >= 1 && cardinality <= kMaxCategoricalCardinality);
+  if (records.size() < 2) return SplitCandidate();
+  CountMatrix& matrix = scratch->matrix;
+  matrix.Reset(cardinality, total.num_classes());
+  for (const AttrRecord& rec : records) {
+    matrix.Add(rec.value.cat, rec.label);
+  }
+  return EvaluateCategoricalFromMatrix(attr, matrix, total, options, scratch);
+}
+
+SplitCandidate EvaluateAttr(const Schema& schema, int attr,
+                            std::span<const AttrRecord> records,
+                            const ClassHistogram& total,
+                            const GiniOptions& options, GiniScratch* scratch) {
+  const AttrInfo& info = schema.attr(attr);
+  if (info.is_categorical()) {
+    return EvaluateCategoricalAttr(attr, records, total, info.cardinality,
+                                   options, scratch);
+  }
+  return EvaluateContinuousAttr(attr, records, total, options, scratch);
+}
+
+}  // namespace smptree

@@ -1,0 +1,84 @@
+// Split-point evaluation (paper section 2.2). For a continuous attribute the
+// candidate points are midpoints between consecutive distinct values of the
+// pre-sorted attribute list, swept with C_below/C_above histograms. For a
+// categorical attribute a value x class count matrix is tabulated and
+// subsets of the value domain are searched: exhaustively up to a cardinality
+// limit, greedily (hill-climbing, as in SPRINT/SLIQ) above it.
+
+#ifndef SMPTREE_CORE_GINI_H_
+#define SMPTREE_CORE_GINI_H_
+
+#include <span>
+
+#include "core/histogram.h"
+#include "core/split.h"
+#include "data/schema.h"
+
+namespace smptree {
+
+/// Tuning knobs for split evaluation.
+struct GiniOptions {
+  /// Categorical domains up to this cardinality are searched exhaustively
+  /// (2^(c-1)-1 proper subsets); larger ones use greedy subsetting.
+  int max_exhaustive_cardinality = 12;
+  /// Impurity measure: gini (SPRINT / the paper) or entropy (extension).
+  SplitCriterion criterion = SplitCriterion::kGini;
+};
+
+/// Largest categorical domain the library accepts (bounds the per-leaf
+/// count-matrix scratch; domains above 64 use BigSubset masks).
+inline constexpr int kMaxCategoricalCardinality = 4096;
+
+/// Scratch space reused across evaluations so the inner loop allocates
+/// nothing. One instance per (thread x window slot).
+struct GiniScratch {
+  ClassHistogram below;
+  ClassHistogram above;
+  CountMatrix matrix;
+};
+
+/// Evaluates the best split of a *sorted* continuous attribute list.
+/// `total` is the leaf's class histogram. Returns an invalid candidate when
+/// all values are equal.
+SplitCandidate EvaluateContinuousAttr(int attr,
+                                      std::span<const AttrRecord> records,
+                                      const ClassHistogram& total,
+                                      const GiniOptions& options,
+                                      GiniScratch* scratch);
+
+/// Evaluates the best subset split of a categorical attribute list (order
+/// irrelevant). Returns an invalid candidate when fewer than two distinct
+/// values are present. Cardinalities above 64 take the large-domain greedy
+/// path and return BigSubset tests.
+SplitCandidate EvaluateCategoricalAttr(int attr,
+                                       std::span<const AttrRecord> records,
+                                       const ClassHistogram& total,
+                                       int cardinality,
+                                       const GiniOptions& options,
+                                       GiniScratch* scratch);
+
+/// Large-domain (cardinality > 64) greedy subsetting with incremental
+/// histograms; exposed for tests.
+SplitCandidate EvaluateCategoricalLargeAttr(
+    int attr, std::span<const AttrRecord> records, const ClassHistogram& total,
+    int cardinality, GiniScratch* scratch);
+
+/// Subset search over an already-tabulated count matrix (used by SPRINT
+/// after its list scan and by SLIQ, whose single pass per level fills one
+/// matrix per leaf). Dispatches exhaustive/greedy/large exactly like
+/// EvaluateCategoricalAttr.
+SplitCandidate EvaluateCategoricalFromMatrix(int attr,
+                                             const CountMatrix& matrix,
+                                             const ClassHistogram& total,
+                                             const GiniOptions& options,
+                                             GiniScratch* scratch);
+
+/// Dispatches on the attribute's type per `schema`.
+SplitCandidate EvaluateAttr(const Schema& schema, int attr,
+                            std::span<const AttrRecord> records,
+                            const ClassHistogram& total,
+                            const GiniOptions& options, GiniScratch* scratch);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_GINI_H_

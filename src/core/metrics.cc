@@ -1,0 +1,111 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<size_t>(num_classes) * num_classes, 0) {}
+
+void ConfusionMatrix::Add(ClassLabel actual, ClassLabel predicted) {
+  ++cells_[static_cast<size_t>(actual) * num_classes_ + predicted];
+  ++total_;
+}
+
+int64_t ConfusionMatrix::correct() const {
+  int64_t c = 0;
+  for (int i = 0; i < num_classes_; ++i) c += count(i, i);
+  return c;
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct()) /
+                           static_cast<double>(total_);
+}
+
+std::string ConfusionMatrix::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << StringPrintf("%-14s", "actual\\pred");
+  for (int p = 0; p < num_classes_; ++p) {
+    os << StringPrintf(" %12s", schema.class_name(p).c_str());
+  }
+  os << "\n";
+  for (int a = 0; a < num_classes_; ++a) {
+    os << StringPrintf("%-14s", schema.class_name(a).c_str());
+    for (int p = 0; p < num_classes_; ++p) {
+      os << StringPrintf(" %12lld", static_cast<long long>(count(a, p)));
+    }
+    os << "\n";
+  }
+  os << StringPrintf("accuracy: %.4f (%lld/%lld)\n", accuracy(),
+                     static_cast<long long>(correct()),
+                     static_cast<long long>(total_));
+  return os.str();
+}
+
+ConfusionMatrix EvaluateTree(const DecisionTree& tree, const Dataset& data) {
+  ConfusionMatrix cm(data.num_classes());
+  for (int64_t t = 0; t < data.num_tuples(); ++t) {
+    cm.Add(data.label(t), tree.Classify(data, t));
+  }
+  return cm;
+}
+
+double TreeAccuracy(const DecisionTree& tree, const Dataset& data) {
+  return EvaluateTree(tree, data).accuracy();
+}
+
+namespace {
+
+/// [begin, end) tuple range of worker `t` out of `threads`.
+std::pair<int64_t, int64_t> TupleRange(int64_t n, int threads, int t) {
+  const int64_t base = n / threads;
+  const int64_t extra = n % threads;
+  const int64_t begin = base * t + std::min<int64_t>(t, extra);
+  return {begin, begin + base + (t < extra ? 1 : 0)};
+}
+
+}  // namespace
+
+std::vector<ClassLabel> ClassifyDataset(const DecisionTree& tree,
+                                        const Dataset& data, int threads) {
+  std::vector<ClassLabel> out(data.num_tuples());
+  if (threads <= 1 || data.num_tuples() < 2 * threads) {
+    for (int64_t t = 0; t < data.num_tuples(); ++t) {
+      out[t] = tree.Classify(data, t);
+    }
+    return out;
+  }
+  std::vector<std::thread> team;
+  team.reserve(threads);
+  for (int w = 0; w < threads; ++w) {
+    team.emplace_back([&, w] {
+      const auto [begin, end] = TupleRange(data.num_tuples(), threads, w);
+      for (int64_t t = begin; t < end; ++t) {
+        out[t] = tree.Classify(data, t);
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  return out;
+}
+
+ConfusionMatrix EvaluateTreeParallel(const DecisionTree& tree,
+                                     const Dataset& data, int threads) {
+  const std::vector<ClassLabel> predicted =
+      ClassifyDataset(tree, data, threads);
+  ConfusionMatrix cm(data.num_classes());
+  for (int64_t t = 0; t < data.num_tuples(); ++t) {
+    cm.Add(data.label(t), predicted[t]);
+  }
+  return cm;
+}
+
+}  // namespace smptree

@@ -1,0 +1,57 @@
+// Model-quality metrics: accuracy, per-class confusion matrix, error rate.
+
+#ifndef SMPTREE_CORE_METRICS_H_
+#define SMPTREE_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+#include "data/dataset.h"
+
+namespace smptree {
+
+/// Confusion counts: cell (actual, predicted).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(ClassLabel actual, ClassLabel predicted);
+
+  int num_classes() const { return num_classes_; }
+  int64_t count(int actual, int predicted) const {
+    return cells_[static_cast<size_t>(actual) * num_classes_ + predicted];
+  }
+  int64_t total() const { return total_; }
+  int64_t correct() const;
+  double accuracy() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  int num_classes_;
+  std::vector<int64_t> cells_;
+  int64_t total_ = 0;
+};
+
+/// Classifies every tuple of `data` with `tree` and tallies the confusion
+/// matrix.
+ConfusionMatrix EvaluateTree(const DecisionTree& tree, const Dataset& data);
+
+/// Convenience: EvaluateTree(...).accuracy().
+double TreeAccuracy(const DecisionTree& tree, const Dataset& data);
+
+/// Batch classification of every tuple, `threads`-way parallel over tuple
+/// ranges (tree application is embarrassingly parallel -- the scoring-side
+/// counterpart of the paper's build-side parallelism).
+std::vector<ClassLabel> ClassifyDataset(const DecisionTree& tree,
+                                        const Dataset& data, int threads = 1);
+
+/// Parallel EvaluateTree: per-thread confusion matrices merged at the end.
+ConfusionMatrix EvaluateTreeParallel(const DecisionTree& tree,
+                                     const Dataset& data, int threads);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_METRICS_H_

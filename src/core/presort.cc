@@ -1,0 +1,75 @@
+#include "core/presort.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace smptree {
+
+Result<AttributeLists> BuildAttributeLists(const Dataset& data,
+                                           int sort_threads) {
+  if (data.num_tuples() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.num_tuples() >
+      static_cast<int64_t>(std::numeric_limits<Tid>::max())) {
+    return Status::InvalidArgument("training set exceeds 32-bit tid space");
+  }
+
+  AttributeLists out;
+  Timer timer;
+
+  // Setup phase: materialize (value, class, tid) records per attribute.
+  const int num_attrs = data.num_attrs();
+  const int64_t n = data.num_tuples();
+  out.lists.resize(num_attrs);
+  for (int a = 0; a < num_attrs; ++a) {
+    auto& list = out.lists[a];
+    list.resize(n);
+    const auto column = data.column(a);
+    const auto labels = data.labels();
+    for (int64_t t = 0; t < n; ++t) {
+      list[t].value = column[t];
+      list[t].tid = static_cast<Tid>(t);
+      list[t].label = labels[t];
+      list[t].unused = 0;
+    }
+  }
+  out.setup_seconds = timer.Seconds();
+
+  // Sort phase: continuous lists only; categorical lists stay unsorted.
+  timer.Start();
+  std::vector<int> continuous;
+  for (int a = 0; a < num_attrs; ++a) {
+    if (!data.schema().attr(a).is_categorical()) continuous.push_back(a);
+  }
+  auto sort_one = [&](int attr) {
+    std::sort(out.lists[attr].begin(), out.lists[attr].end(),
+              ContinuousRecordLess());
+  };
+  if (sort_threads <= 1 || continuous.size() <= 1) {
+    for (int a : continuous) sort_one(a);
+  } else {
+    std::atomic<size_t> next{0};
+    const int workers =
+        std::min<int>(sort_threads, static_cast<int>(continuous.size()));
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= continuous.size()) return;
+          sort_one(continuous[i]);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  out.sort_seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace smptree

@@ -1,0 +1,43 @@
+// The split probe (paper section 3.2.1, "hash probe construction"): a global
+// bit structure with one bit per training tuple, written while the winning
+// attribute list of a leaf is scanned and consulted while the losing
+// attribute lists are split. We use the paper's option 2 -- a single bit
+// vector over all tids of the training set, shared by every leaf of the
+// level (leaves own disjoint tid sets).
+
+#ifndef SMPTREE_CORE_PROBE_H_
+#define SMPTREE_CORE_PROBE_H_
+
+#include "core/records.h"
+#include "util/bitvector.h"
+
+namespace smptree {
+
+/// Tuple-to-child routing for one tree level.
+class SplitProbe {
+ public:
+  /// Prepares the probe for `num_tuples` training tuples. Bits keep their
+  /// values from the previous level until overwritten by that leaf's W phase
+  /// (stale bits are never read: S only consults tids whose leaf completed W
+  /// this level).
+  void Reset(size_t num_tuples) {
+    if (bits_.size() != num_tuples) bits_.Resize(num_tuples);
+  }
+
+  /// Routes `tid` left (true) or right (false). Thread-safe for distinct
+  /// tids (atomic word RMW underneath).
+  void Route(Tid tid, bool left) { bits_.Set(tid, left); }
+
+  /// True when `tid` goes to the left child. Plain load: callers are in the
+  /// S phase, ordered after the leaf's W by the builders' synchronization.
+  bool GoesLeft(Tid tid) const { return bits_.Get(tid); }
+
+  size_t size() const { return bits_.size(); }
+
+ private:
+  BitVector bits_;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_PROBE_H_

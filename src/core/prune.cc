@@ -1,0 +1,70 @@
+#include "core/prune.h"
+
+#include <cmath>
+#include <functional>
+
+namespace smptree {
+
+namespace {
+
+int64_t LeafErrors(const TreeNode& n) {
+  int64_t total = 0;
+  int64_t best = 0;
+  for (int64_t c : n.class_counts) {
+    total += c;
+    if (c > best) best = c;
+  }
+  return total - best;
+}
+
+}  // namespace
+
+double PessimisticErrors(int64_t n, int64_t errors, double z) {
+  if (n == 0) return 0.0;
+  const double f = static_cast<double>(errors) / static_cast<double>(n);
+  const double nd = static_cast<double>(n);
+  const double z2 = z * z;
+  // Upper bound of the Wilson score interval, scaled back to a count.
+  const double numerator =
+      f + z2 / (2.0 * nd) +
+      z * std::sqrt(f / nd - f * f / nd + z2 / (4.0 * nd * nd));
+  return nd * numerator / (1.0 + z2 / nd);
+}
+
+int64_t PruneTree(DecisionTree* tree, const PruneOptions& options) {
+  if (options.method == PruneOptions::Method::kNone ||
+      tree->num_nodes() == 0) {
+    return 0;
+  }
+  const int64_t before = tree->num_nodes();
+
+  // Bottom-up: returns the (estimated) cost of the possibly-pruned subtree.
+  std::function<double(NodeId)> prune = [&](NodeId id) -> double {
+    TreeNode& n = tree->mutable_node(id);
+    const int64_t tuples = n.tuple_count();
+    const int64_t errors = LeafErrors(n);
+
+    double leaf_cost;
+    if (options.method == PruneOptions::Method::kPessimistic) {
+      leaf_cost = PessimisticErrors(tuples, errors, options.confidence_z);
+    } else {
+      leaf_cost = static_cast<double>(errors) + options.leaf_penalty;
+    }
+    if (n.is_leaf()) return leaf_cost;
+
+    double subtree_cost = prune(n.left) + prune(n.right);
+    if (options.method == PruneOptions::Method::kCostComplexity) {
+      subtree_cost += options.split_penalty;
+    }
+    if (leaf_cost <= subtree_cost) {
+      tree->MakeLeaf(id);
+      return leaf_cost;
+    }
+    return subtree_cost;
+  };
+  prune(tree->root());
+  tree->CompactAfterPrune();
+  return before - tree->num_nodes();
+}
+
+}  // namespace smptree

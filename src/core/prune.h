@@ -1,0 +1,50 @@
+// Tree pruning (paper section 2: "the prune phase generalizes the tree...
+// by removing statistical noise or variations"; it needs only the grown
+// tree, no data passes). Two bottom-up strategies:
+//
+//   kPessimistic     C4.5-style pessimistic error estimates: a subtree is
+//                    replaced by a leaf when the leaf's estimated error is
+//                    no worse than the subtree's.
+//   kCostComplexity  MDL-flavoured cost: cost(leaf) = errors + penalty;
+//                    cost(subtree) = split_penalty + costs of children;
+//                    prune when the leaf is no more expensive (this is the
+//                    SLIQ-like scheme with the code lengths folded into two
+//                    scalar penalties).
+
+#ifndef SMPTREE_CORE_PRUNE_H_
+#define SMPTREE_CORE_PRUNE_H_
+
+#include <cstdint>
+
+#include "core/tree.h"
+
+namespace smptree {
+
+struct PruneOptions {
+  enum class Method {
+    kNone,
+    kPessimistic,
+    kCostComplexity,
+  };
+  Method method = Method::kNone;
+
+  /// kPessimistic: z-score of the one-sided confidence bound (C4.5's default
+  /// 25% confidence corresponds to z ~ 0.6745).
+  double confidence_z = 0.6745;
+
+  /// kCostComplexity: cost in "error units" of keeping a leaf / a split.
+  double leaf_penalty = 0.5;
+  double split_penalty = 1.0;
+};
+
+/// Prunes `tree` in place and compacts the node arena. Returns the number of
+/// nodes removed.
+int64_t PruneTree(DecisionTree* tree, const PruneOptions& options);
+
+/// Pessimistic error bound for a leaf with `n` tuples and `errors`
+/// misclassified, at z-score `z` (exposed for tests).
+double PessimisticErrors(int64_t n, int64_t errors, double z);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_PRUNE_H_

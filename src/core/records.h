@@ -1,0 +1,63 @@
+// The attribute-list record, the unit of data SPRINT-style classifiers move
+// around (paper section 2.1): an attribute value, the class label, and the
+// tuple identifier (tid) of the originating training tuple.
+//
+// Records are fixed-size PODs so attribute lists can be stored as raw arrays
+// in physical files and read back with no serialization step - the layout IS
+// the file format (native endianness; the files are scratch space local to
+// one build, never interchange data).
+
+#ifndef SMPTREE_CORE_RECORDS_H_
+#define SMPTREE_CORE_RECORDS_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace smptree {
+
+/// Tuple identifier: index of the training tuple in the dataset.
+using Tid = uint32_t;
+
+/// Class label: dense code in [0, num_classes).
+using ClassLabel = uint16_t;
+
+/// Attribute value: continuous attributes use `f`, categorical attributes
+/// use `cat` (a dense value code in [0, cardinality)).
+union AttrValue {
+  float f;
+  int32_t cat;
+};
+
+/// Canonical encoding of a missing continuous value: the lowest float, so a
+/// missing value deterministically satisfies every `value < threshold` test
+/// (the "missing goes left" strategy) with no special cases anywhere in the
+/// evaluators, probe, or classification. Categorical domains represent
+/// missing as an ordinary extra value code the schema declares.
+inline constexpr float kMissingValue = -3.402823466e+38f;  // lowest float
+
+inline bool IsMissing(float value) { return value == kMissingValue; }
+
+/// One entry of an attribute list.
+struct AttrRecord {
+  AttrValue value;
+  Tid tid;
+  ClassLabel label;
+  uint16_t unused = 0;  ///< padding kept explicit so the file layout is fixed
+};
+
+static_assert(std::is_trivially_copyable_v<AttrRecord>,
+              "attribute records are raw-copied to files");
+static_assert(sizeof(AttrRecord) == 12, "file layout is 12 bytes per record");
+
+/// Orders records of a continuous attribute list by value, breaking ties by
+/// tid so sorting is deterministic.
+struct ContinuousRecordLess {
+  bool operator()(const AttrRecord& a, const AttrRecord& b) const {
+    if (a.value.f != b.value.f) return a.value.f < b.value.f;
+    return a.tid < b.tid;
+  }
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_RECORDS_H_

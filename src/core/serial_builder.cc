@@ -1,0 +1,31 @@
+#include "core/serial_builder.h"
+
+namespace smptree {
+
+Status BuildTreeSerial(BuildContext* ctx, std::vector<LeafTask> level) {
+  GiniScratch scratch;
+  const int num_attrs = ctx->data().num_attrs();
+  while (!level.empty()) {
+    // E: attribute lists are processed one after the other, so only one set
+    // of histograms is live at any time (paper section 2.1).
+    for (int attr = 0; attr < num_attrs; ++attr) {
+      SMPTREE_RETURN_IF_ERROR(
+          ctx->EvaluateAttrForLeaves(attr, &level, 0, level.size(), &scratch));
+    }
+    // W: winner selection and probe construction per leaf.
+    for (LeafTask& leaf : level) {
+      SMPTREE_RETURN_IF_ERROR(ctx->RunW(&leaf));
+    }
+    ctx->AssignChildSlots(&level, ctx->num_slots());
+    // S: split every attribute list using the probe.
+    for (int attr = 0; attr < num_attrs; ++attr) {
+      SMPTREE_RETURN_IF_ERROR(ctx->SplitAttribute(attr, level));
+    }
+    SMPTREE_RETURN_IF_ERROR(ctx->storage()->AdvanceLevel());
+    level = ctx->CollectNextLevel(level);
+    if (!level.empty()) ctx->set_levels_built(ctx->levels_built() + 1);
+  }
+  return Status::OK();
+}
+
+}  // namespace smptree

@@ -1,0 +1,22 @@
+// Serial SPRINT tree growth (paper section 2): breadth-first levels, each
+// processing the E, W and S steps for every leaf with a single thread and a
+// single set of histograms. This is the baseline all speedups in the
+// evaluation are measured against, and the subroutine semantics the parallel
+// builders must reproduce exactly (the equivalence tests rely on it).
+
+#ifndef SMPTREE_CORE_SERIAL_BUILDER_H_
+#define SMPTREE_CORE_SERIAL_BUILDER_H_
+
+#include <vector>
+
+#include "core/builder_context.h"
+
+namespace smptree {
+
+/// Grows the tree level by level from the root LeafTask produced by
+/// BuildContext::InitRoot.
+Status BuildTreeSerial(BuildContext* ctx, std::vector<LeafTask> level);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_SERIAL_BUILDER_H_

@@ -1,0 +1,60 @@
+#include "core/split.h"
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+std::string SplitTest::ToString(const Schema& schema) const {
+  if (!valid()) return "<invalid>";
+  const AttrInfo& info = schema.attr(attr);
+  if (!categorical) {
+    return StringPrintf("%s < %.6g", info.name.c_str(),
+                        static_cast<double>(threshold));
+  }
+  std::string out = info.name + " in {";
+  bool first = true;
+  const int domain = big_subset != nullptr
+                         ? static_cast<int>(big_subset->size() * 64)
+                         : 64;
+  for (int v = 0; v < domain; ++v) {
+    if (SubsetContains(v)) {
+      if (!first) out += ", ";
+      first = false;
+      if (!info.value_names.empty() &&
+          v < static_cast<int>(info.value_names.size())) {
+        out += info.value_names[v];
+      } else {
+        out += StringPrintf("%d", v);
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+bool SplitTest::operator==(const SplitTest& other) const {
+  if (attr != other.attr || categorical != other.categorical) return false;
+  if (!categorical) return threshold == other.threshold;
+  if ((big_subset != nullptr) != (other.big_subset != nullptr)) return false;
+  if (big_subset != nullptr) return *big_subset == *other.big_subset;
+  return subset == other.subset;
+}
+
+bool SplitCandidate::BetterThan(const SplitCandidate& other) const {
+  if (!valid()) return false;
+  if (!other.valid()) return true;
+  if (gini != other.gini) return gini < other.gini;
+  // Deterministic tie-breaks so every builder picks the same tree: lower
+  // attribute index, then lower threshold / smaller subset mask.
+  if (test.attr != other.test.attr) return test.attr < other.test.attr;
+  if (test.categorical != other.test.categorical) return !test.categorical;
+  if (!test.categorical && test.threshold != other.test.threshold) {
+    return test.threshold < other.test.threshold;
+  }
+  if (test.big_subset != nullptr && other.test.big_subset != nullptr) {
+    return *test.big_subset < *other.test.big_subset;
+  }
+  return test.subset < other.test.subset;
+}
+
+}  // namespace smptree

@@ -1,0 +1,73 @@
+// Split tests (paper section 2.2): `value(A) < x` for continuous attributes
+// and `value(A) in X` for categorical attributes. A tuple satisfying the
+// test goes to the left child.
+
+#ifndef SMPTREE_CORE_SPLIT_H_
+#define SMPTREE_CORE_SPLIT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/records.h"
+#include "data/schema.h"
+
+namespace smptree {
+
+/// Bit mask over a categorical domain larger than 64 values. Immutable and
+/// shared so SplitTest stays cheap to copy.
+using BigSubset = std::shared_ptr<const std::vector<uint64_t>>;
+
+/// The test at a decision node.
+struct SplitTest {
+  int32_t attr = -1;        ///< attribute index in the schema
+  bool categorical = false;
+  float threshold = 0.0f;   ///< continuous: left iff value < threshold
+  uint64_t subset = 0;      ///< categorical, cardinality <= 64
+  BigSubset big_subset;     ///< categorical, cardinality > 64 (overrides)
+
+  bool valid() const { return attr >= 0; }
+
+  /// True when categorical value code `v` is in the left-going subset.
+  bool SubsetContains(int32_t v) const {
+    if (big_subset != nullptr) {
+      const size_t word = static_cast<size_t>(v) >> 6;
+      if (v < 0 || word >= big_subset->size()) return false;
+      return (((*big_subset)[word] >> (v & 63)) & 1) != 0;
+    }
+    return v >= 0 && v < 64 && ((subset >> v) & 1) != 0;
+  }
+
+  /// True when `v` (interpreted per this test's attribute type) goes left.
+  bool GoesLeft(AttrValue v) const {
+    return categorical ? SubsetContains(v.cat) : v.f < threshold;
+  }
+
+  /// Renders the test against a schema, e.g. "age < 27.5" or
+  /// "car in {1, 4, 7}".
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const SplitTest& other) const;
+};
+
+/// A candidate split with its evaluated quality.
+struct SplitCandidate {
+  SplitTest test;
+  /// Weighted impurity of the partition under the build's criterion (gini
+  /// by default); lower wins. The placeholder value is never compared --
+  /// BetterThan checks validity first.
+  double gini = 2.0;
+  int64_t left_count = 0;
+  int64_t right_count = 0;
+
+  bool valid() const { return test.valid(); }
+
+  /// True when this candidate beats `other` (strictly lower gini; ties keep
+  /// the lower attribute index so parallel and serial builders agree).
+  bool BetterThan(const SplitCandidate& other) const;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_SPLIT_H_

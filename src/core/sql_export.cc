@@ -1,0 +1,109 @@
+#include "core/sql_export.h"
+
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+namespace {
+
+std::string Kw(const SqlOptions& options, const char* upper,
+               const char* lower) {
+  return options.uppercase_keywords ? upper : lower;
+}
+
+/// SQL predicate for taking `left` at node `id`.
+std::string EdgePredicate(const DecisionTree& tree, NodeId id, bool left,
+                          const SqlOptions& options) {
+  const SplitTest& test = tree.node(id).split;
+  const AttrInfo& info = tree.schema().attr(test.attr);
+  if (!test.categorical) {
+    return StringPrintf("%s %s %.9g", info.name.c_str(), left ? "<" : ">=",
+                        static_cast<double>(test.threshold));
+  }
+  std::string values;
+  const int domain = info.cardinality > 0 ? info.cardinality : 64;
+  for (int v = 0; v < domain; ++v) {
+    if (!test.SubsetContains(v)) continue;
+    if (!values.empty()) values += ", ";
+    if (!info.value_names.empty() &&
+        v < static_cast<int>(info.value_names.size())) {
+      values += "'" + info.value_names[v] + "'";
+    } else {
+      values += StringPrintf("%d", v);
+    }
+  }
+  return info.name + (left ? " " + Kw(options, "IN", "in") + " ("
+                           : " " + Kw(options, "NOT IN", "not in") + " (") +
+         values + ")";
+}
+
+/// Collects, per class, the conjunction of edge predicates along each
+/// root-to-leaf path.
+std::vector<std::vector<std::string>> LeafPathsByClass(
+    const DecisionTree& tree, const SqlOptions& options) {
+  std::vector<std::vector<std::string>> by_class(
+      tree.schema().num_classes());
+  if (tree.num_nodes() == 0) return by_class;
+  std::vector<std::string> path;
+  std::function<void(NodeId)> walk = [&](NodeId id) {
+    const TreeNode& n = tree.node(id);
+    if (n.is_leaf()) {
+      std::string pred =
+          path.empty() ? Kw(options, "TRUE", "true") : JoinStrings(path, " " + Kw(options, "AND", "and") + " ");
+      by_class[n.majority].push_back(std::move(pred));
+      return;
+    }
+    path.push_back(EdgePredicate(tree, id, /*left=*/true, options));
+    walk(n.left);
+    path.back() = EdgePredicate(tree, id, /*left=*/false, options);
+    walk(n.right);
+    path.pop_back();
+  };
+  walk(tree.root());
+  return by_class;
+}
+
+}  // namespace
+
+std::string TreeToSqlCase(const DecisionTree& tree, const SqlOptions& options) {
+  const auto by_class = LeafPathsByClass(tree, options);
+  std::string out = Kw(options, "CASE", "case");
+  for (int c = 0; c < tree.schema().num_classes(); ++c) {
+    if (by_class[c].empty()) continue;
+    std::string disjunction;
+    for (size_t i = 0; i < by_class[c].size(); ++i) {
+      if (i) disjunction += " " + Kw(options, "OR", "or") + " ";
+      disjunction += "(" + by_class[c][i] + ")";
+    }
+    out += "\n  " + Kw(options, "WHEN", "when") + " " + disjunction + " " +
+           Kw(options, "THEN", "then") + " '" +
+           tree.schema().class_name(c) + "'";
+  }
+  out += "\n" + Kw(options, "END", "end");
+  return out;
+}
+
+std::vector<std::string> TreeToSqlSelects(const DecisionTree& tree,
+                                          const SqlOptions& options) {
+  const auto by_class = LeafPathsByClass(tree, options);
+  std::vector<std::string> out;
+  for (int c = 0; c < tree.schema().num_classes(); ++c) {
+    std::string where;
+    if (by_class[c].empty()) {
+      where = "1 = 0";
+    } else {
+      for (size_t i = 0; i < by_class[c].size(); ++i) {
+        if (i) where += " " + Kw(options, "OR", "or") + " ";
+        where += "(" + by_class[c][i] + ")";
+      }
+    }
+    out.push_back(Kw(options, "SELECT", "select") + " * " +
+                  Kw(options, "FROM", "from") + " " + options.table + " " +
+                  Kw(options, "WHERE", "where") + " " + where + ";");
+  }
+  return out;
+}
+
+}  // namespace smptree

@@ -1,0 +1,34 @@
+// Decision-tree-to-SQL conversion. The paper's introduction motivates
+// decision trees partly because "trees can also be converted into SQL
+// statements that can be used to access databases efficiently"; this module
+// provides that conversion: a CASE expression classifying each row, and one
+// SELECT per class retrieving its members.
+
+#ifndef SMPTREE_CORE_SQL_EXPORT_H_
+#define SMPTREE_CORE_SQL_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+
+namespace smptree {
+
+/// Options for SQL generation.
+struct SqlOptions {
+  std::string table = "training_data";  ///< table the predicates reference
+  bool uppercase_keywords = true;
+};
+
+/// Renders the tree as `CASE WHEN <path predicate> THEN '<class>' ... END`.
+std::string TreeToSqlCase(const DecisionTree& tree,
+                          const SqlOptions& options = {});
+
+/// One `SELECT * FROM <table> WHERE <disjunction of leaf paths>` per class.
+/// Classes with no leaf get a query with a false predicate.
+std::vector<std::string> TreeToSqlSelects(const DecisionTree& tree,
+                                          const SqlOptions& options = {});
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_SQL_EXPORT_H_

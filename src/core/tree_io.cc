@@ -1,0 +1,241 @@
+#include "core/tree_io.h"
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+namespace {
+
+uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float BitsFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+std::string CountsToString(const std::vector<int64_t>& counts) {
+  std::string out;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i) out += ',';
+    out += StringPrintf("%lld", static_cast<long long>(counts[i]));
+  }
+  return out;
+}
+
+Status ParseCounts(std::string_view text, int num_classes,
+                   std::vector<int64_t>* out) {
+  const auto parts = SplitString(text, ',');
+  if (static_cast<int>(parts.size()) != num_classes) {
+    return Status::Corruption("class-count arity mismatch");
+  }
+  out->clear();
+  for (const auto& p : parts) {
+    int64_t v = 0;
+    if (!ParseInt64(p, &v)) return Status::Corruption("bad count: " + p);
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+// "key=value" tokens on a line -> map.
+std::map<std::string, std::string> TokenMap(
+    const std::vector<std::string>& tokens, size_t first) {
+  std::map<std::string, std::string> kv;
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const auto pos = tokens[i].find('=');
+    if (pos == std::string::npos) continue;
+    kv[tokens[i].substr(0, pos)] = tokens[i].substr(pos + 1);
+  }
+  return kv;
+}
+
+}  // namespace
+
+std::string SerializeTree(const DecisionTree& tree) {
+  std::ostringstream os;
+  os << "tree v1 classes=" << tree.schema().num_classes()
+     << " nodes=" << tree.num_nodes() << "\n";
+  // Emitted ids are canonical preorder positions, NOT arena ids: parallel
+  // builders create structurally identical trees whose arena order depends
+  // on scheduling, and the serialized form must be identical for identical
+  // trees.
+  int64_t next_id = 0;
+  std::function<void(NodeId)> emit = [&](NodeId id) {
+    const TreeNode& n = tree.node(id);
+    const int64_t out_id = next_id++;
+    if (n.is_leaf()) {
+      os << "L " << out_id << " class=" << n.majority
+         << " counts=" << CountsToString(n.class_counts) << "\n";
+      return;
+    }
+    os << "N " << out_id << " attr=" << n.split.attr
+       << " cat=" << (n.split.categorical ? 1 : 0);
+    if (!n.split.categorical) {
+      os << " thr=" << FloatBits(n.split.threshold);
+    } else if (n.split.big_subset != nullptr) {
+      os << " bigsubset=";
+      const auto& words = *n.split.big_subset;
+      for (size_t w = 0; w < words.size(); ++w) {
+        if (w) os << ":";
+        os << words[w];
+      }
+    } else {
+      os << " subset=" << n.split.subset;
+    }
+    os << " counts=" << CountsToString(n.class_counts) << "\n";
+    emit(n.left);
+    emit(n.right);
+  };
+  if (tree.num_nodes() > 0) emit(tree.root());
+  return os.str();
+}
+
+Result<DecisionTree> DeserializeTree(const Schema& schema,
+                                     const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("tree v1 ", 0) != 0) {
+    return Status::Corruption("missing tree header");
+  }
+
+  DecisionTree tree(schema);
+  ClassHistogram hist(schema.num_classes());
+  std::vector<int64_t> counts;
+
+  // Preorder reconstruction with an explicit stack of nodes awaiting
+  // children: (node id, which side comes next).
+  struct Pending {
+    NodeId id;
+    int filled = 0;  // 0 -> expect left, 1 -> expect right
+  };
+  std::vector<Pending> stack;
+  bool have_root = false;
+
+  auto attach = [&](const ClassHistogram& h, bool* is_root,
+                    NodeId* out) -> Status {
+    if (!have_root) {
+      *out = tree.CreateRoot(h);
+      have_root = true;
+      *is_root = true;
+      return Status::OK();
+    }
+    if (stack.empty()) return Status::Corruption("dangling node");
+    Pending& top = stack.back();
+    *out = tree.AddChild(top.id, top.filled == 0, h);
+    if (++top.filled == 2) stack.pop_back();
+    *is_root = false;
+    return Status::OK();
+  };
+
+  while (std::getline(is, line)) {
+    const auto trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    auto tokens = SplitString(trimmed, ' ');
+    if (tokens.size() < 3) return Status::Corruption("short line: " + line);
+    const auto kv = TokenMap(tokens, 2);
+    const auto counts_it = kv.find("counts");
+    if (counts_it == kv.end()) {
+      return Status::Corruption("missing counts: " + line);
+    }
+    SMPTREE_RETURN_IF_ERROR(
+        ParseCounts(counts_it->second, schema.num_classes(), &counts));
+    hist.Reset(schema.num_classes());
+    for (size_t c = 0; c < counts.size(); ++c) {
+      hist.Add(static_cast<ClassLabel>(c), counts[c]);
+    }
+
+    bool is_root = false;
+    NodeId id = kInvalidNode;
+    SMPTREE_RETURN_IF_ERROR(attach(hist, &is_root, &id));
+
+    if (tokens[0] == "L") {
+      int64_t cls = 0;
+      const auto cls_it = kv.find("class");
+      if (cls_it == kv.end() || !ParseInt64(cls_it->second, &cls) || cls < 0 ||
+          cls >= schema.num_classes()) {
+        return Status::Corruption("bad leaf class: " + line);
+      }
+      tree.mutable_node(id).majority = static_cast<ClassLabel>(cls);
+    } else if (tokens[0] == "N") {
+      SplitTest test;
+      int64_t attr = 0;
+      int64_t cat = 0;
+      const auto attr_it = kv.find("attr");
+      const auto cat_it = kv.find("cat");
+      if (attr_it == kv.end() || cat_it == kv.end() ||
+          !ParseInt64(attr_it->second, &attr) ||
+          !ParseInt64(cat_it->second, &cat) || attr < 0 ||
+          attr >= schema.num_attrs()) {
+        return Status::Corruption("bad node attrs: " + line);
+      }
+      test.attr = static_cast<int32_t>(attr);
+      test.categorical = cat != 0;
+      if (test.categorical) {
+        const auto big_it = kv.find("bigsubset");
+        if (big_it != kv.end()) {
+          std::vector<uint64_t> words;
+          for (const auto& part : SplitString(big_it->second, ':')) {
+            uint64_t w = 0;
+            if (!ParseUint64(part, &w)) {
+              return Status::Corruption("bad bigsubset: " + line);
+            }
+            words.push_back(w);
+          }
+          if (words.empty()) {
+            return Status::Corruption("empty bigsubset: " + line);
+          }
+          test.big_subset =
+              std::make_shared<const std::vector<uint64_t>>(std::move(words));
+        } else {
+          uint64_t subset = 0;
+          const auto it = kv.find("subset");
+          if (it == kv.end() || !ParseUint64(it->second, &subset)) {
+            return Status::Corruption("bad subset: " + line);
+          }
+          test.subset = subset;
+        }
+      } else {
+        int64_t bits = 0;
+        const auto it = kv.find("thr");
+        if (it == kv.end() || !ParseInt64(it->second, &bits)) {
+          return Status::Corruption("bad threshold: " + line);
+        }
+        test.threshold = BitsFloat(static_cast<uint32_t>(bits));
+      }
+      tree.SetSplit(id, test);
+      stack.push_back(Pending{id, 0});
+    } else {
+      return Status::Corruption("unknown line kind: " + tokens[0]);
+    }
+  }
+  if (!have_root) return Status::Corruption("empty tree body");
+  if (!stack.empty()) return Status::Corruption("tree body truncated");
+  return tree;
+}
+
+bool TreesEqual(const DecisionTree& a, const DecisionTree& b) {
+  std::function<bool(NodeId, NodeId)> eq = [&](NodeId x, NodeId y) {
+    const TreeNode& nx = a.node(x);
+    const TreeNode& ny = b.node(y);
+    if (nx.is_leaf() != ny.is_leaf()) return false;
+    if (nx.class_counts != ny.class_counts) return false;
+    if (nx.is_leaf()) return nx.majority == ny.majority;
+    if (!(nx.split == ny.split)) return false;
+    return eq(nx.left, ny.left) && eq(nx.right, ny.right);
+  };
+  if ((a.num_nodes() == 0) != (b.num_nodes() == 0)) return false;
+  if (a.num_nodes() == 0) return true;
+  return eq(a.root(), b.root());
+}
+
+}  // namespace smptree

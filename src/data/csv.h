@@ -1,0 +1,30 @@
+// CSV import/export for Dataset. The format is one header line with
+// attribute names plus a final "class" column; categorical values and class
+// labels are written by name when the schema has names, otherwise by code.
+
+#ifndef SMPTREE_DATA_CSV_H_
+#define SMPTREE_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace smptree {
+
+/// Writes `data` as CSV to `path` (real filesystem).
+Status WriteCsv(const Dataset& data, const std::string& path);
+
+/// Reads a CSV written by WriteCsv (or hand-authored with the same layout)
+/// against a known schema. The header is validated against the schema.
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path);
+
+/// Serializes to a CSV string (used by tests and small examples).
+std::string ToCsvString(const Dataset& data);
+
+/// Parses from a CSV string.
+Result<Dataset> FromCsvString(const Schema& schema, const std::string& text);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_DATA_CSV_H_

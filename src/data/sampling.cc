@@ -1,0 +1,56 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/random.h"
+
+namespace smptree {
+
+Result<TrainTestSplit> SplitTrainTest(const Dataset& data,
+                                      double test_fraction, uint64_t seed) {
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    return Status::InvalidArgument("test_fraction outside [0,1]");
+  }
+  Random rng(seed);
+  TrainTestSplit split{Dataset(data.schema()), Dataset(data.schema())};
+  TupleValues values;
+  for (int64_t t = 0; t < data.num_tuples(); ++t) {
+    values = data.Tuple(t);
+    Dataset& target =
+        rng.Bernoulli(test_fraction) ? split.test : split.train;
+    SMPTREE_RETURN_IF_ERROR(target.Append(values, data.label(t)));
+  }
+  return split;
+}
+
+Result<Dataset> ShuffleDataset(const Dataset& data, uint64_t seed) {
+  std::vector<int64_t> order(data.num_tuples());
+  std::iota(order.begin(), order.end(), 0);
+  Random rng(seed);
+  for (int64_t i = data.num_tuples() - 1; i > 0; --i) {
+    const int64_t j = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(i) + 1));
+    std::swap(order[i], order[j]);
+  }
+  Dataset out(data.schema());
+  out.Reserve(data.num_tuples());
+  for (int64_t t : order) {
+    SMPTREE_RETURN_IF_ERROR(out.Append(data.Tuple(t), data.label(t)));
+  }
+  return out;
+}
+
+Dataset TakePrefix(const Dataset& data, int64_t n) {
+  n = std::min(n, data.num_tuples());
+  Dataset out(data.schema());
+  out.Reserve(n);
+  for (int64_t t = 0; t < n; ++t) {
+    Status s = out.Append(data.Tuple(t), data.label(t));
+    (void)s;  // append into a fresh same-schema dataset cannot fail
+  }
+  return out;
+}
+
+}  // namespace smptree

@@ -1,0 +1,34 @@
+// Train/test splitting and shuffling utilities for the examples and the
+// accuracy experiments.
+
+#ifndef SMPTREE_DATA_SAMPLING_H_
+#define SMPTREE_DATA_SAMPLING_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "data/dataset.h"
+
+namespace smptree {
+
+/// A train/test partition of a dataset.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Randomly partitions `data` so that about `test_fraction` of the tuples
+/// land in the test set. Deterministic in `seed`.
+Result<TrainTestSplit> SplitTrainTest(const Dataset& data,
+                                      double test_fraction, uint64_t seed);
+
+/// Returns a copy of `data` with tuples in a random order (Fisher-Yates,
+/// deterministic in `seed`).
+Result<Dataset> ShuffleDataset(const Dataset& data, uint64_t seed);
+
+/// Returns the first `n` tuples (n clamped to the dataset size).
+Dataset TakePrefix(const Dataset& data, int64_t n);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_DATA_SAMPLING_H_

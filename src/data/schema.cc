@@ -1,0 +1,59 @@
+#include "data/schema.h"
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+int Schema::AddContinuous(std::string name) {
+  attrs_.push_back(AttrInfo{std::move(name), AttrType::kContinuous, 0, {}});
+  return num_attrs() - 1;
+}
+
+int Schema::AddCategorical(std::string name, int cardinality,
+                           std::vector<std::string> value_names) {
+  attrs_.push_back(AttrInfo{std::move(name), AttrType::kCategorical,
+                            cardinality, std::move(value_names)});
+  return num_attrs() - 1;
+}
+
+void Schema::SetClassNames(std::vector<std::string> names) {
+  class_names_ = std::move(names);
+}
+
+int Schema::FindAttr(const std::string& name) const {
+  for (int i = 0; i < num_attrs(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return -1;
+}
+
+Status Schema::Validate() const {
+  if (attrs_.empty()) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  if (num_classes() < 2) {
+    return Status::InvalidArgument("schema needs at least two classes");
+  }
+  for (int i = 0; i < num_attrs(); ++i) {
+    const AttrInfo& a = attrs_[i];
+    if (a.name.empty()) {
+      return Status::InvalidArgument(StringPrintf("attribute %d unnamed", i));
+    }
+    if (a.is_categorical()) {
+      if (a.cardinality < 1) {
+        return Status::InvalidArgument(StringPrintf(
+            "categorical attribute '%s' has cardinality %d", a.name.c_str(),
+            a.cardinality));
+      }
+      if (!a.value_names.empty() &&
+          static_cast<int>(a.value_names.size()) != a.cardinality) {
+        return Status::InvalidArgument(StringPrintf(
+            "attribute '%s': %zu value names for cardinality %d",
+            a.name.c_str(), a.value_names.size(), a.cardinality));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace smptree

@@ -1,0 +1,69 @@
+// Schema: attribute metadata for a training set. Attributes are continuous
+// (ordered domain, float values) or categorical (unordered domain, dense
+// value codes with a recorded cardinality and optional value names).
+
+#ifndef SMPTREE_DATA_SCHEMA_H_
+#define SMPTREE_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace smptree {
+
+enum class AttrType : unsigned char {
+  kContinuous,
+  kCategorical,
+};
+
+/// Metadata for one attribute.
+struct AttrInfo {
+  std::string name;
+  AttrType type = AttrType::kContinuous;
+  /// Number of distinct value codes; meaningful for categorical attributes.
+  int cardinality = 0;
+  /// Optional display names for categorical value codes (size == cardinality
+  /// when present).
+  std::vector<std::string> value_names;
+
+  bool is_categorical() const { return type == AttrType::kCategorical; }
+};
+
+/// Attribute layout of a dataset plus the class-label alphabet.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends a continuous attribute; returns its index.
+  int AddContinuous(std::string name);
+
+  /// Appends a categorical attribute with `cardinality` value codes.
+  int AddCategorical(std::string name, int cardinality,
+                     std::vector<std::string> value_names = {});
+
+  /// Sets the class labels ("Group A", "Group B", ...).
+  void SetClassNames(std::vector<std::string> names);
+
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+  int num_classes() const { return static_cast<int>(class_names_.size()); }
+
+  const AttrInfo& attr(int i) const { return attrs_[i]; }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  const std::string& class_name(int label) const { return class_names_[label]; }
+
+  /// Index of the attribute named `name`, or -1.
+  int FindAttr(const std::string& name) const;
+
+  /// Validates internal consistency (non-empty, positive cardinalities,
+  /// at least two classes).
+  Status Validate() const;
+
+ private:
+  std::vector<AttrInfo> attrs_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_DATA_SCHEMA_H_

@@ -1,0 +1,152 @@
+#include "data/schema_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+namespace {
+
+/// Splits on runs of spaces; double quotes group tokens containing spaces
+/// ("Group A").
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_quotes = false;
+  bool have_token = false;
+  for (char c : line) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      have_token = true;  // "" is a valid (empty) token
+    } else if ((c == ' ' || c == '\t') && !in_quotes) {
+      if (have_token || !current.empty()) {
+        out.push_back(std::move(current));
+        current.clear();
+        have_token = false;
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (have_token || !current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+/// Quotes a token when it contains whitespace.
+std::string MaybeQuote(const std::string& token) {
+  if (token.find(' ') == std::string::npos &&
+      token.find('\t') == std::string::npos && !token.empty()) {
+    return token;
+  }
+  return "\"" + token + "\"";
+}
+
+}  // namespace
+
+std::string FormatSchemaText(const Schema& schema) {
+  std::ostringstream os;
+  os << "# smptree schema: " << schema.num_attrs() << " attributes, "
+     << schema.num_classes() << " classes\n";
+  for (int a = 0; a < schema.num_attrs(); ++a) {
+    const AttrInfo& info = schema.attr(a);
+    if (info.is_categorical()) {
+      os << "attr " << info.name << " categorical " << info.cardinality;
+      for (const std::string& v : info.value_names) os << " " << MaybeQuote(v);
+      os << "\n";
+    } else {
+      os << "attr " << info.name << " continuous\n";
+    }
+  }
+  os << "classes";
+  for (const std::string& c : schema.class_names()) os << " " << MaybeQuote(c);
+  os << "\n";
+  return os.str();
+}
+
+Result<Schema> ParseSchemaText(const std::string& text) {
+  Schema schema;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_classes = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto tokens = Tokenize(trimmed);
+    if (tokens[0] == "attr") {
+      if (tokens.size() < 3) {
+        return Status::Corruption(
+            StringPrintf("line %d: attr needs a name and a type", line_no));
+      }
+      const std::string& name = tokens[1];
+      if (schema.FindAttr(name) >= 0) {
+        return Status::Corruption(
+            StringPrintf("line %d: duplicate attribute '%s'", line_no,
+                         name.c_str()));
+      }
+      if (tokens[2] == "continuous") {
+        schema.AddContinuous(name);
+      } else if (tokens[2] == "categorical") {
+        if (tokens.size() < 4) {
+          return Status::Corruption(StringPrintf(
+              "line %d: categorical needs a cardinality", line_no));
+        }
+        int64_t cardinality = 0;
+        if (!ParseInt64(tokens[3], &cardinality) || cardinality < 1 ||
+            cardinality > 4096) {  // kMaxCategoricalCardinality
+          return Status::Corruption(StringPrintf(
+              "line %d: bad cardinality '%s'", line_no, tokens[3].c_str()));
+        }
+        std::vector<std::string> value_names(tokens.begin() + 4,
+                                             tokens.end());
+        if (!value_names.empty() &&
+            static_cast<int64_t>(value_names.size()) != cardinality) {
+          return Status::Corruption(StringPrintf(
+              "line %d: %zu value names for cardinality %lld", line_no,
+              value_names.size(), static_cast<long long>(cardinality)));
+        }
+        schema.AddCategorical(name, static_cast<int>(cardinality),
+                              std::move(value_names));
+      } else {
+        return Status::Corruption(StringPrintf(
+            "line %d: unknown attribute type '%s'", line_no,
+            tokens[2].c_str()));
+      }
+    } else if (tokens[0] == "classes") {
+      if (saw_classes) {
+        return Status::Corruption(
+            StringPrintf("line %d: duplicate classes line", line_no));
+      }
+      saw_classes = true;
+      schema.SetClassNames(
+          std::vector<std::string>(tokens.begin() + 1, tokens.end()));
+    } else {
+      return Status::Corruption(StringPrintf(
+          "line %d: unknown directive '%s'", line_no, tokens[0].c_str()));
+    }
+  }
+  SMPTREE_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+Status WriteSchemaFile(const Schema& schema, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << FormatSchemaText(schema);
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Schema> ReadSchemaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSchemaText(buffer.str());
+}
+
+}  // namespace smptree

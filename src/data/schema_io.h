@@ -1,0 +1,33 @@
+// Text serialization for schemas, so models and datasets can be described
+// in files (used by the smptree CLI). Line-oriented format:
+//
+//   # comments and blank lines are ignored
+//   attr <name> continuous
+//   attr <name> categorical <cardinality> [value names...]
+//   classes <name> <name> ...
+//
+// Attribute order in the file is the attribute order in the schema.
+
+#ifndef SMPTREE_DATA_SCHEMA_IO_H_
+#define SMPTREE_DATA_SCHEMA_IO_H_
+
+#include <string>
+
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace smptree {
+
+/// Renders `schema` in the format above.
+std::string FormatSchemaText(const Schema& schema);
+
+/// Parses the format above; the result passes Schema::Validate().
+Result<Schema> ParseSchemaText(const std::string& text);
+
+/// File wrappers (real filesystem).
+Status WriteSchemaFile(const Schema& schema, const std::string& path);
+Result<Schema> ReadSchemaFile(const std::string& path);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_DATA_SCHEMA_IO_H_

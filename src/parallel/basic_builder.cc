@@ -1,0 +1,78 @@
+#include "parallel/basic_builder.h"
+
+#include "parallel/level_engine.h"
+#include "parallel/scheduler.h"
+
+namespace smptree {
+
+Status BuildTreeBasic(BuildContext* ctx, std::vector<LeafTask> level) {
+  const int threads = ctx->options().num_threads;
+  const int num_attrs = ctx->data().num_attrs();
+  BuildCounters* counters = ctx->counters();
+
+  Barrier barrier(threads);
+  DynamicScheduler e_sched;
+  DynamicScheduler s_sched;
+  ErrorSink sink;
+  std::atomic<bool> done{false};
+
+  e_sched.Reset(level.empty() ? 0 : num_attrs);
+  s_sched.Reset(level.empty() ? 0 : num_attrs);
+  if (level.empty()) done.store(true);
+
+  auto worker = [&](int tid) {
+    GiniScratch scratch;
+    while (!done.load(std::memory_order_acquire)) {
+      // E: grab attributes dynamically; evaluate each for all leaves of the
+      // level so every attribute list is read once, sequentially.
+      for (int64_t a = e_sched.Next(); a >= 0; a = e_sched.Next()) {
+        sink.Record(ctx->EvaluateAttrForLeaves(static_cast<int>(a), &level, 0,
+                                               level.size(), &scratch));
+        if (sink.aborted()) break;
+      }
+      TimedBarrierWait(&barrier, counters);
+
+      // W: performed serially by the pre-designated master while the other
+      // processors sleep at the barrier -- the bottleneck MWK removes.
+      if (tid == 0 && !sink.aborted()) {
+        for (LeafTask& leaf : level) {
+          Status s = ctx->RunW(&leaf);
+          sink.Record(s);
+          if (!s.ok()) break;
+        }
+        ctx->AssignChildSlots(&level, ctx->num_slots());
+      }
+      TimedBarrierWait(&barrier, counters);
+
+      // S: dynamic attribute scheduling again.
+      if (!sink.aborted()) {
+        for (int64_t a = s_sched.Next(); a >= 0; a = s_sched.Next()) {
+          sink.Record(ctx->SplitAttribute(static_cast<int>(a), level));
+          if (sink.aborted()) break;
+        }
+      }
+      TimedBarrierWait(&barrier, counters);
+
+      // Level transition (master), then release everyone into the next
+      // level with freshly armed schedulers.
+      if (tid == 0) {
+        if (!sink.aborted()) {
+          sink.Record(ctx->storage()->AdvanceLevel());
+          level = ctx->CollectNextLevel(level);
+          if (!level.empty()) ctx->set_levels_built(ctx->levels_built() + 1);
+        }
+        if (sink.aborted() || level.empty()) {
+          done.store(true, std::memory_order_release);
+        } else {
+          e_sched.Reset(num_attrs);
+          s_sched.Reset(num_attrs);
+        }
+      }
+      TimedBarrierWait(&barrier, counters);
+    }
+  };
+
+  return RunThreadTeam(threads, &sink, worker);
+}
+
+}  // namespace smptree

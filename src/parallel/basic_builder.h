@@ -1,0 +1,19 @@
+// BASIC (paper section 3.2.1): attribute data parallelism with barriers.
+// Per level: dynamically scheduled E over attributes; barrier; the master
+// alone finds winners and builds the probe (the scheme's known serial
+// bottleneck); barrier; dynamically scheduled S over attributes; barrier.
+
+#ifndef SMPTREE_PARALLEL_BASIC_BUILDER_H_
+#define SMPTREE_PARALLEL_BASIC_BUILDER_H_
+
+#include <vector>
+
+#include "core/builder_context.h"
+
+namespace smptree {
+
+Status BuildTreeBasic(BuildContext* ctx, std::vector<LeafTask> level);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_PARALLEL_BASIC_BUILDER_H_

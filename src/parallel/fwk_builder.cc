@@ -1,0 +1,107 @@
+#include "parallel/fwk_builder.h"
+
+#include <atomic>
+#include <memory>
+
+#include "parallel/level_engine.h"
+#include "parallel/scheduler.h"
+
+namespace smptree {
+
+Status BuildTreeFwk(BuildContext* ctx, std::vector<LeafTask> level) {
+  const int threads = ctx->options().num_threads;
+  const int num_attrs = ctx->data().num_attrs();
+  const int window = ctx->options().window;
+  BuildCounters* counters = ctx->counters();
+
+  Barrier barrier(threads);
+  ErrorSink sink;
+  std::atomic<bool> done{false};
+  if (level.empty()) done.store(true);
+
+  // Per-leaf countdown of outstanding evaluation tasks; the thread that
+  // drops a leaf's count to zero owns its W step.
+  std::vector<std::unique_ptr<std::atomic<int>>> remaining;
+  auto arm_level = [&] {
+    remaining.resize(level.size());
+    for (auto& r : remaining) r = std::make_unique<std::atomic<int>>(num_attrs);
+  };
+  arm_level();
+
+  DynamicScheduler block_sched;  // (leaf-in-block, attr) tasks
+  DynamicScheduler s_sched;
+  std::atomic<size_t> block_start{0};
+  const auto arm_block = [&](size_t start) {
+    const size_t block_leaves = std::min<size_t>(window, level.size() - start);
+    block_sched.Reset(static_cast<int64_t>(block_leaves) * num_attrs);
+  };
+  if (!level.empty()) arm_block(0);
+
+  auto worker = [&](int tid) {
+    GiniScratch scratch;
+    while (!done.load(std::memory_order_acquire)) {
+      // E (+ pipelined W) over the blocks of this level.
+      for (;;) {
+        const size_t start = block_start.load(std::memory_order_acquire);
+        if (start >= level.size()) break;
+        for (int64_t task = block_sched.Next(); task >= 0;
+             task = block_sched.Next()) {
+          const size_t leaf_idx = start + static_cast<size_t>(task / num_attrs);
+          const int attr = static_cast<int>(task % num_attrs);
+          if (!sink.aborted()) {
+            sink.Record(ctx->EvaluateLeafAttr(&level[leaf_idx], attr, &scratch));
+          }
+          // Last finisher on the leaf constructs its hash probe while peers
+          // evaluate the block's remaining leaves (the pipelining).
+          if (remaining[leaf_idx]->fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            if (!sink.aborted()) sink.Record(ctx->RunW(&level[leaf_idx]));
+          }
+        }
+        // One synchronization per K-block (paper: "the work overlap is
+        // achieved at the cost of ... one [barrier] for each K-block").
+        if (TimedBarrierWait(&barrier, counters)) {
+          const size_t next = start + std::min<size_t>(window, level.size() - start);
+          if (next < level.size()) arm_block(next);
+          block_start.store(next, std::memory_order_release);
+        }
+        TimedBarrierWait(&barrier, counters);
+      }
+
+      // All W done; master lays out the children, then the split phase runs
+      // with dynamic attribute scheduling.
+      if (tid == 0 && !sink.aborted()) {
+        ctx->AssignChildSlots(&level, ctx->num_slots());
+        s_sched.Reset(num_attrs);
+      }
+      TimedBarrierWait(&barrier, counters);
+      if (!sink.aborted()) {
+        for (int64_t a = s_sched.Next(); a >= 0; a = s_sched.Next()) {
+          sink.Record(ctx->SplitAttribute(static_cast<int>(a), level));
+          if (sink.aborted()) break;
+        }
+      }
+      TimedBarrierWait(&barrier, counters);
+
+      if (tid == 0) {
+        if (!sink.aborted()) {
+          sink.Record(ctx->storage()->AdvanceLevel());
+          level = ctx->CollectNextLevel(level);
+          if (!level.empty()) ctx->set_levels_built(ctx->levels_built() + 1);
+        }
+        if (sink.aborted() || level.empty()) {
+          done.store(true, std::memory_order_release);
+        } else {
+          arm_level();
+          arm_block(0);
+          block_start.store(0, std::memory_order_release);
+        }
+      }
+      TimedBarrierWait(&barrier, counters);
+    }
+  };
+
+  return RunThreadTeam(threads, &sink, worker);
+}
+
+}  // namespace smptree

@@ -1,0 +1,21 @@
+// FWK, Fixed-Window-K (paper section 3.2.2): groups the level's leaves into
+// blocks of K. Inside a block, (leaf, attribute) evaluation tasks are
+// scheduled dynamically; the last processor to finish a leaf's evaluations
+// builds that leaf's probe (W), overlapping W with the E of the block's
+// later leaves. A barrier closes each block. The split phase S then runs
+// once for the whole level with dynamic attribute scheduling.
+
+#ifndef SMPTREE_PARALLEL_FWK_BUILDER_H_
+#define SMPTREE_PARALLEL_FWK_BUILDER_H_
+
+#include <vector>
+
+#include "core/builder_context.h"
+
+namespace smptree {
+
+Status BuildTreeFwk(BuildContext* ctx, std::vector<LeafTask> level);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_PARALLEL_FWK_BUILDER_H_

@@ -1,0 +1,43 @@
+#include "parallel/level_engine.h"
+
+#include <thread>
+#include <vector>
+
+namespace smptree {
+
+void ErrorSink::Record(const Status& status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_.ok()) {
+    first_ = status;
+    aborted_.store(true, std::memory_order_release);
+  }
+}
+
+Status ErrorSink::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_;
+}
+
+Status RunThreadTeam(int num_threads, ErrorSink* sink,
+                     const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) {
+    threads.emplace_back([&body, t] { body(t); });
+  }
+  body(0);
+  for (auto& t : threads) t.join();
+  return sink->status();
+}
+
+bool TimedBarrierWait(Barrier* barrier, BuildCounters* counters) {
+  counters->barrier_waits.fetch_add(1, std::memory_order_relaxed);
+  Timer timer;
+  const bool serial = barrier->Wait();
+  counters->wait_nanos.fetch_add(static_cast<uint64_t>(timer.Seconds() * 1e9),
+                                 std::memory_order_relaxed);
+  return serial;
+}
+
+}  // namespace smptree

@@ -1,0 +1,69 @@
+// Shared machinery for the SMP builders: a thread team with first-error
+// capture, and helpers for timing blocked waits into the build counters.
+//
+// Error discipline inside the builders: a thread that hits an error records
+// it in the ErrorSink and *keeps participating in every synchronization
+// point* of the current level (otherwise peers would deadlock at barriers);
+// all threads observe `aborted()` at the next level boundary and unwind
+// together.
+
+#ifndef SMPTREE_PARALLEL_LEVEL_ENGINE_H_
+#define SMPTREE_PARALLEL_LEVEL_ENGINE_H_
+
+#include <functional>
+#include <mutex>
+
+#include "util/barrier.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace smptree {
+
+/// First-error-wins status collector shared by a thread team.
+class ErrorSink {
+ public:
+  /// Records `status` if it is the first failure. OK statuses are ignored.
+  void Record(const Status& status);
+
+  /// True once any thread recorded a failure.
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// The first recorded failure, or OK.
+  Status status() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Status first_;
+  std::atomic<bool> aborted_{false};
+};
+
+/// Runs `body(thread_id)` on `num_threads` std::threads (thread 0 runs on
+/// the calling thread) and returns the sink's verdict. `body` must not
+/// throw; failures go through the sink.
+Status RunThreadTeam(int num_threads, ErrorSink* sink,
+                     const std::function<void(int)>& body);
+
+/// Barrier::Wait wrapper that accounts the blocked time and count into the
+/// build counters.
+bool TimedBarrierWait(Barrier* barrier, BuildCounters* counters);
+
+/// Measures one blocked wait (condition variables) into the counters.
+class WaitTimer {
+ public:
+  explicit WaitTimer(BuildCounters* counters) : counters_(counters) {}
+  ~WaitTimer() {
+    counters_->condvar_waits.fetch_add(1, std::memory_order_relaxed);
+    counters_->wait_nanos.fetch_add(
+        static_cast<uint64_t>(timer_.Seconds() * 1e9),
+        std::memory_order_relaxed);
+  }
+
+ private:
+  BuildCounters* counters_;
+  Timer timer_;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_PARALLEL_LEVEL_ENGINE_H_

@@ -1,0 +1,54 @@
+#include "parallel/mwk_builder.h"
+
+#include <atomic>
+
+#include "parallel/level_engine.h"
+#include "parallel/mwk_level.h"
+
+namespace smptree {
+
+Status BuildTreeMwk(BuildContext* ctx, std::vector<LeafTask> level) {
+  const int threads = ctx->options().num_threads;
+  const int num_attrs = ctx->data().num_attrs();
+  const size_t window = static_cast<size_t>(ctx->options().window);
+  BuildCounters* counters = ctx->counters();
+
+  Barrier barrier(threads);
+  ErrorSink sink;
+  std::atomic<bool> done{false};
+  if (level.empty()) done.store(true);
+
+  MwkLevelState state;
+  if (!level.empty()) state.Arm(level, num_attrs);
+
+  auto worker = [&](int tid) {
+    GiniScratch scratch;
+    while (!done.load(std::memory_order_acquire)) {
+      // One level: the E/W moving-window pipeline plus the gated split
+      // phase; no barriers inside (paper section 3.2.3).
+      state.RunLevel(ctx, &level, ctx->storage(), window, ctx->num_slots(),
+                     &scratch, &sink);
+      TimedBarrierWait(&barrier, counters);
+
+      // Level transition (storage swap) by the master, then release
+      // everyone into the next level.
+      if (tid == 0) {
+        if (!sink.aborted()) {
+          sink.Record(ctx->storage()->AdvanceLevel());
+          level = ctx->CollectNextLevel(level);
+          if (!level.empty()) ctx->set_levels_built(ctx->levels_built() + 1);
+        }
+        if (sink.aborted() || level.empty()) {
+          done.store(true, std::memory_order_release);
+        } else {
+          state.Arm(level, num_attrs);
+        }
+      }
+      TimedBarrierWait(&barrier, counters);
+    }
+  };
+
+  return RunThreadTeam(threads, &sink, worker);
+}
+
+}  // namespace smptree

@@ -1,0 +1,25 @@
+// MWK, Moving-Window-K (paper section 3.2.3): the block barrier of FWK is
+// replaced by a per-leaf condition variable. A processor may start
+// evaluating leaf i as soon as leaf i-K has been processed (the two share a
+// file/state slot), so parallelism flows across block boundaries -- the
+// window moves. The last processor to finish a leaf's evaluations builds its
+// probe and signals the condition variable.
+//
+// Within a level there are no barriers at all; the split phase starts behind
+// a gate that opens when the last leaf's probe is ready, and one barrier
+// pair remains at the level transition (storage swap).
+
+#ifndef SMPTREE_PARALLEL_MWK_BUILDER_H_
+#define SMPTREE_PARALLEL_MWK_BUILDER_H_
+
+#include <vector>
+
+#include "core/builder_context.h"
+
+namespace smptree {
+
+Status BuildTreeMwk(BuildContext* ctx, std::vector<LeafTask> level);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_PARALLEL_MWK_BUILDER_H_

@@ -1,0 +1,104 @@
+#include "parallel/mwk_level.h"
+
+namespace smptree {
+
+void MwkPipeline::Arm(size_t leaves) {
+  std::lock_guard<std::mutex> lock(mu_);
+  w_done_.assign(leaves, 0);
+  pending_ = leaves;
+  // A level with no leaves has no last W-finisher to open the gate.
+  gate_open_ = leaves == 0;
+}
+
+void MwkPipeline::WaitForLeaf(size_t idx, BuildCounters* counters) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (w_done_[idx]) return;
+  WaitTimer wt(counters);
+  cv_.wait(lock, [&] { return w_done_[idx] != 0; });
+}
+
+bool MwkPipeline::MarkDone(size_t idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  w_done_[idx] = 1;
+  const bool last = --pending_ == 0;
+  cv_.notify_all();  // wakes WaitForLeaf sleepers; the gate stays shut
+  return last;
+}
+
+void MwkPipeline::OpenGate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  gate_open_ = true;
+  cv_.notify_all();
+}
+
+void MwkPipeline::WaitGate(BuildCounters* counters) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (gate_open_) return;
+  WaitTimer wt(counters);
+  cv_.wait(lock, [&] { return gate_open_; });
+}
+
+void MwkLevelState::Arm(const std::vector<LeafTask>& level, int num_attrs) {
+  num_attrs_ = num_attrs;
+  pipeline_.Arm(level.size());
+  remaining_.resize(level.size());
+  for (auto& r : remaining_) {
+    r = std::make_unique<std::atomic<int>>(num_attrs);
+  }
+  e_sched_.Reset(static_cast<int64_t>(level.size()) * num_attrs);
+  s_sched_.Reset(level.empty() ? 0 : num_attrs);
+}
+
+void MwkLevelState::RunLevel(BuildContext* ctx, std::vector<LeafTask>* level,
+                             LevelStorage* storage, size_t window,
+                             int num_slots, GiniScratch* scratch,
+                             ErrorSink* sink) {
+  BuildCounters* counters = ctx->counters();
+
+  // E/W pipeline: (leaf, attr) tasks in leaf-major order; before touching
+  // leaf i, wait until leaf i-K -- which shares its slot -- was processed.
+  size_t waited_for = 0;  // leaves [0, waited_for) known processed
+  for (int64_t task = e_sched_.Next(); task >= 0; task = e_sched_.Next()) {
+    const size_t leaf_idx = static_cast<size_t>(task / num_attrs_);
+    const int attr = static_cast<int>(task % num_attrs_);
+    if (leaf_idx >= window) {
+      const size_t dep = leaf_idx - window;
+      if (dep >= waited_for) {
+        pipeline_.WaitForLeaf(dep, counters);
+        waited_for = dep + 1;
+      }
+    }
+    if (!sink->aborted()) {
+      sink->Record(
+          ctx->EvaluateLeafAttr(&(*level)[leaf_idx], attr, scratch, storage));
+    }
+    // Last finisher on the leaf constructs its hash probe and signals the
+    // moving window forward.
+    if (remaining_[leaf_idx]->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (!sink->aborted()) {
+        sink->Record(ctx->RunW(&(*level)[leaf_idx], storage));
+      }
+      if (pipeline_.MarkDone(leaf_idx)) {
+        // Last probe of the level: lay out the children and arm the split
+        // phase, then release the peers waiting at the gate.
+        if (!sink->aborted()) {
+          ctx->AssignChildSlots(level, num_slots);
+        }
+        s_sched_.Reset(num_attrs_);
+        pipeline_.OpenGate();
+      }
+    }
+  }
+  pipeline_.WaitGate(counters);
+
+  // S: dynamic attribute scheduling (the gate above is the only
+  // synchronization separating it from the pipeline).
+  if (!sink->aborted()) {
+    for (int64_t a = s_sched_.Next(); a >= 0; a = s_sched_.Next()) {
+      sink->Record(ctx->SplitAttribute(static_cast<int>(a), *level, storage));
+      if (sink->aborted()) break;
+    }
+  }
+}
+
+}  // namespace smptree

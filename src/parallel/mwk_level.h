@@ -1,0 +1,80 @@
+// Reusable Moving-Window-K level executor. One MwkLevelState drives the
+// E/W pipeline (per-leaf condition variables, last-finisher probe
+// construction), the split-phase gate, and the dynamically scheduled S for
+// ONE tree level, executed cooperatively by any team of threads.
+//
+// Used by BuildTreeMwk (the whole build is one team) and by SUBTREE when
+// MWK is selected as the per-group subroutine (paper section 3.4: "In fact
+// we can also use FWK or MWK as the subroutine").
+//
+// Protocol per level:
+//   one thread calls Arm(...) while the team is quiescent;
+//   every team member then calls RunLevel(...) exactly once;
+//   the caller synchronizes the team (its own barrier) before the next Arm.
+
+#ifndef SMPTREE_PARALLEL_MWK_LEVEL_H_
+#define SMPTREE_PARALLEL_MWK_LEVEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/builder_context.h"
+#include "parallel/level_engine.h"
+#include "parallel/scheduler.h"
+
+namespace smptree {
+
+/// Per-level pipeline state for the moving window: which leaves have been
+/// processed (W complete) and the gate the split phase waits behind.
+class MwkPipeline {
+ public:
+  void Arm(size_t leaves);
+
+  /// Blocks until leaf `idx` has been processed (its W is complete).
+  void WaitForLeaf(size_t idx, BuildCounters* counters);
+
+  /// Marks leaf `idx` processed; returns true for the level's last leaf.
+  /// The caller owning that `true` must call OpenGate() after laying out
+  /// the children.
+  bool MarkDone(size_t idx);
+
+  void OpenGate();
+  void WaitGate(BuildCounters* counters);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<char> w_done_;
+  size_t pending_ = 0;
+  bool gate_open_ = false;
+};
+
+/// One MWK level, executable by a cooperating team of threads.
+class MwkLevelState {
+ public:
+  /// Prepares for a level of `level->size()` leaves. Single-threaded
+  /// (between the caller's team barriers).
+  void Arm(const std::vector<LeafTask>& level, int num_attrs);
+
+  /// Runs this thread's share of the level: the E/W pipeline with window
+  /// `window`, then the split phase over `storage`. `num_slots` is the slot
+  /// count used for child layout. Every team member must call this exactly
+  /// once per Arm.
+  void RunLevel(BuildContext* ctx, std::vector<LeafTask>* level,
+                LevelStorage* storage, size_t window, int num_slots,
+                GiniScratch* scratch, ErrorSink* sink);
+
+ private:
+  MwkPipeline pipeline_;
+  std::vector<std::unique_ptr<std::atomic<int>>> remaining_;
+  DynamicScheduler e_sched_;
+  DynamicScheduler s_sched_;
+  int num_attrs_ = 0;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_PARALLEL_MWK_LEVEL_H_

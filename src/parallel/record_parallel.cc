@@ -1,0 +1,204 @@
+#include "parallel/record_parallel.h"
+
+#include <atomic>
+
+#include "parallel/level_engine.h"
+#include "parallel/scheduler.h"
+
+namespace smptree {
+
+namespace {
+
+/// Shared state for the record-parallel evaluation of one (leaf, attribute).
+struct RecScratch {
+  std::vector<AttrRecord> records;          // the leaf's list, shared
+  std::vector<ClassHistogram> chunk_hist;   // per-thread partials
+  std::vector<CountMatrix> chunk_matrix;    // per-thread partials (categorical)
+  std::vector<SplitCandidate> chunk_best;   // per-thread local winners
+  std::vector<ClassHistogram> prefix;       // C_below at each chunk start
+
+  void Resize(int threads, int num_classes) {
+    chunk_hist.assign(threads, ClassHistogram(num_classes));
+    chunk_matrix.assign(threads, CountMatrix());
+    chunk_best.assign(threads, SplitCandidate());
+    prefix.assign(threads, ClassHistogram(num_classes));
+  }
+};
+
+/// [begin, end) of thread `t`'s chunk of `n` records.
+std::pair<size_t, size_t> Chunk(size_t n, int threads, int t) {
+  const size_t base = n / threads;
+  const size_t extra = n % threads;
+  const size_t begin = base * t + std::min<size_t>(t, extra);
+  const size_t len = base + (static_cast<size_t>(t) < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace
+
+Status BuildTreeRecordParallel(BuildContext* ctx, std::vector<LeafTask> level) {
+  const int threads = ctx->options().num_threads;
+  const int num_attrs = ctx->data().num_attrs();
+  const int num_classes = ctx->data().num_classes();
+  const Schema& schema = ctx->data().schema();
+  BuildCounters* counters = ctx->counters();
+
+  Barrier barrier(threads);
+  ErrorSink sink;
+  std::atomic<bool> done{false};
+  if (level.empty()) done.store(true);
+
+  RecScratch shared;
+  DynamicScheduler s_sched;
+  GiniScratch master_gini;
+
+  auto worker = [&](int tid) {
+    GiniScratch gini;
+    while (!done.load(std::memory_order_acquire)) {
+      // E: every (leaf, attribute) is evaluated by ALL processors together,
+      // each owning ~1/P of the records.
+      for (size_t li = 0; li < level.size(); ++li) {
+        LeafTask& leaf = level[li];
+        for (int attr = 0; attr < num_attrs; ++attr) {
+          const bool categorical = schema.attr(attr).is_categorical();
+          // (a) master materializes the shared list.
+          if (tid == 0 && !sink.aborted()) {
+            SegmentBuffer buf;
+            Status s = ctx->storage()->ReadSegment(attr, leaf.seg, &buf);
+            sink.Record(s);
+            if (s.ok()) {
+              shared.records.assign(buf.records().begin(),
+                                    buf.records().end());
+              shared.Resize(threads, num_classes);
+              counters->records_scanned.fetch_add(leaf.seg.count,
+                                                  std::memory_order_relaxed);
+            }
+          }
+          TimedBarrierWait(&barrier, counters);
+          if (sink.aborted()) {
+            // Match the four remaining synchronization points of the
+            // non-aborted path so peers cannot deadlock.
+            for (int b = 0; b < 4; ++b) TimedBarrierWait(&barrier, counters);
+            continue;
+          }
+          const auto [begin, end] =
+              Chunk(shared.records.size(), threads, tid);
+          // (b) per-chunk partial statistics (replicated structures).
+          if (categorical) {
+            CountMatrix& m = shared.chunk_matrix[tid];
+            m.Reset(schema.attr(attr).cardinality, num_classes);
+            for (size_t i = begin; i < end; ++i) {
+              m.Add(shared.records[i].value.cat, shared.records[i].label);
+            }
+          } else {
+            ClassHistogram& h = shared.chunk_hist[tid];
+            h.Reset(num_classes);
+            for (size_t i = begin; i < end; ++i) {
+              h.Add(shared.records[i].label);
+            }
+          }
+          TimedBarrierWait(&barrier, counters);
+          // (c) master merges: prefix histograms (continuous) or the full
+          // count matrix (categorical, evaluated centrally).
+          if (tid == 0) {
+            if (categorical) {
+              // The partial matrices model the replicated structures; the
+              // subset search itself is inherently central, so the master
+              // evaluates it (the merge is implicit in the shared list).
+              leaf.candidates[attr] = EvaluateCategoricalAttr(
+                  attr, shared.records, leaf.hist,
+                  schema.attr(attr).cardinality, ctx->options().gini,
+                  &master_gini);
+            } else {
+              ClassHistogram below(num_classes);
+              for (int t = 0; t < threads; ++t) {
+                shared.prefix[t] = below;
+                below.Merge(shared.chunk_hist[t]);
+              }
+            }
+          }
+          TimedBarrierWait(&barrier, counters);
+          // (d) continuous: per-chunk sweep from the prefix C_below, then
+          // reduction by the master.
+          if (!categorical) {
+            SplitCandidate best;
+            ClassHistogram below = shared.prefix[tid];
+            ClassHistogram above = leaf.hist;
+            above.Subtract(below);
+            for (size_t i = begin; i < end; ++i) {
+              const AttrRecord& rec = shared.records[i];
+              below.Add(rec.label);
+              above.Remove(rec.label);
+              if (i + 1 >= shared.records.size()) break;
+              const float v = rec.value.f;
+              const float next = shared.records[i + 1].value.f;
+              if (v == next) continue;
+              SplitCandidate candidate;
+              candidate.test.attr = attr;
+              candidate.test.categorical = false;
+              const float mid = v + (next - v) * 0.5f;
+              candidate.test.threshold = mid > v ? mid : next;
+              candidate.gini = SplitImpurity(below, above, ctx->options().gini.criterion);
+              candidate.left_count = static_cast<int64_t>(i) + 1;
+              candidate.right_count =
+                  static_cast<int64_t>(shared.records.size() - i) - 1;
+              if (candidate.BetterThan(best)) best = candidate;
+            }
+            shared.chunk_best[tid] = best;
+            TimedBarrierWait(&barrier, counters);
+            if (tid == 0) {
+              SplitCandidate reduced;
+              for (int t = 0; t < threads; ++t) {
+                if (shared.chunk_best[t].BetterThan(reduced)) {
+                  reduced = shared.chunk_best[t];
+                }
+              }
+              leaf.candidates[attr] = reduced;
+            }
+            TimedBarrierWait(&barrier, counters);
+          } else {
+            TimedBarrierWait(&barrier, counters);
+            TimedBarrierWait(&barrier, counters);
+          }
+          counters->attr_tasks.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      TimedBarrierWait(&barrier, counters);
+
+      // W and S as in BASIC.
+      if (tid == 0 && !sink.aborted()) {
+        for (LeafTask& leaf : level) {
+          Status s = ctx->RunW(&leaf);
+          sink.Record(s);
+          if (!s.ok()) break;
+        }
+        ctx->AssignChildSlots(&level, ctx->num_slots());
+        s_sched.Reset(num_attrs);
+      }
+      TimedBarrierWait(&barrier, counters);
+      if (!sink.aborted()) {
+        for (int64_t a = s_sched.Next(); a >= 0; a = s_sched.Next()) {
+          sink.Record(ctx->SplitAttribute(static_cast<int>(a), level));
+          if (sink.aborted()) break;
+        }
+      }
+      TimedBarrierWait(&barrier, counters);
+
+      if (tid == 0) {
+        if (!sink.aborted()) {
+          sink.Record(ctx->storage()->AdvanceLevel());
+          level = ctx->CollectNextLevel(level);
+          if (!level.empty()) ctx->set_levels_built(ctx->levels_built() + 1);
+        }
+        if (sink.aborted() || level.empty()) {
+          done.store(true, std::memory_order_release);
+        }
+      }
+      TimedBarrierWait(&barrier, counters);
+    }
+  };
+
+  return RunThreadTeam(threads, &sink, worker);
+}
+
+}  // namespace smptree

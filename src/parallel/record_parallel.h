@@ -1,0 +1,27 @@
+// Record data parallelism (REC): the parallelization used by SPRINT's
+// distributed-memory implementation on the IBM SP, where every processor
+// owns ~1/P of each attribute list. The paper argues (section 3.1) that this
+// scheme "is not well suited to SMP systems since it is likely to cause
+// excessive synchronization, and replication of data structures" -- this
+// builder exists to measure exactly that claim (the ablation_algorithms
+// benchmark).
+//
+// Per (leaf, attribute) the evaluation runs in four barrier-separated
+// sub-phases: shared read, per-chunk partial histograms (the replicated
+// structures), prefix merge by the master, and the per-chunk candidate sweep
+// with a final reduction. W and S then proceed as in BASIC.
+
+#ifndef SMPTREE_PARALLEL_RECORD_PARALLEL_H_
+#define SMPTREE_PARALLEL_RECORD_PARALLEL_H_
+
+#include <vector>
+
+#include "core/builder_context.h"
+
+namespace smptree {
+
+Status BuildTreeRecordParallel(BuildContext* ctx, std::vector<LeafTask> level);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_PARALLEL_RECORD_PARALLEL_H_

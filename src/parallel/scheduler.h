@@ -1,0 +1,41 @@
+// Dynamic task scheduling (paper section 3.2.1, "attributes are scheduled
+// dynamically by using an attribute counter and locking"): a shared counter
+// hands out task indices; whoever increments first gets the task. We use an
+// atomic fetch-add, the lock-free equivalent of the paper's counter+lock.
+
+#ifndef SMPTREE_PARALLEL_SCHEDULER_H_
+#define SMPTREE_PARALLEL_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace smptree {
+
+/// Hands out indices [0, limit) exactly once across threads.
+class DynamicScheduler {
+ public:
+  DynamicScheduler() = default;
+
+  /// Re-arms the scheduler for a new phase with `limit` tasks. Must be
+  /// called while no thread is pulling (between phase barriers).
+  void Reset(int64_t limit) {
+    limit_ = limit;
+    next_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Returns the next task index, or -1 when exhausted.
+  int64_t Next() {
+    const int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    return i < limit_ ? i : -1;
+  }
+
+  int64_t limit() const { return limit_; }
+
+ private:
+  std::atomic<int64_t> next_{0};
+  int64_t limit_ = 0;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_PARALLEL_SCHEDULER_H_

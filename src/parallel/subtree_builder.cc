@@ -1,0 +1,323 @@
+#include "parallel/subtree_builder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "parallel/level_engine.h"
+#include "parallel/mwk_level.h"
+#include "parallel/scheduler.h"
+#include "util/string_util.h"
+
+namespace smptree {
+
+namespace {
+
+/// One processor group working on one subtree's leaf frontier.
+struct Group {
+  std::vector<int> members;  // thread ids, sorted; members[0] is the master
+  std::vector<LeafTask> level;
+  std::unique_ptr<LevelStorage> storage;
+  std::unique_ptr<Barrier> barrier;
+  DynamicScheduler e_sched;
+  DynamicScheduler s_sched;
+  MwkLevelState mwk;  // used when the MWK subroutine is selected
+
+  // Post-level decision handshake: non-masters sleep here until the master
+  // has regrouped everyone.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool decision_ready = false;
+
+  int master() const { return members[0]; }
+};
+
+/// Global coordination: the FREE queue of idle processors and the per-thread
+/// next-group mailbox.
+struct Coordinator {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> free_queue;
+  std::vector<std::shared_ptr<Group>> mailbox;  // per thread id
+  int active_groups = 1;
+  bool done = false;
+  uint64_t group_seq = 0;
+};
+
+std::shared_ptr<Group> NewGroup(BuildContext* ctx, std::vector<int> members,
+                                std::vector<LeafTask> level,
+                                std::unique_ptr<LevelStorage> storage) {
+  auto g = std::make_shared<Group>();
+  std::sort(members.begin(), members.end());
+  g->members = std::move(members);
+  g->level = std::move(level);
+  g->storage = std::move(storage);
+  g->barrier = std::make_unique<Barrier>(static_cast<int>(g->members.size()));
+  if (ctx->options().subtree_subroutine == Algorithm::kMwk) {
+    g->mwk.Arm(g->level, ctx->data().num_attrs());
+  } else {
+    g->e_sched.Reset(ctx->data().num_attrs());
+  }
+  return g;
+}
+
+/// Splits a leaf frontier into two contiguous halves balanced by record
+/// count; returns the split index (in [1, level.size()-1]) and the left
+/// half's weight fraction.
+size_t BalancedLeafSplit(const std::vector<LeafTask>& level,
+                         double* left_fraction) {
+  uint64_t total = 0;
+  for (const LeafTask& leaf : level) total += leaf.seg.count;
+  uint64_t prefix = 0;
+  size_t best_index = 1;
+  uint64_t best_diff = total;
+  uint64_t best_prefix = level[0].seg.count;
+  for (size_t i = 1; i < level.size(); ++i) {
+    prefix += level[i - 1].seg.count;
+    const uint64_t diff =
+        prefix > total - prefix ? prefix - (total - prefix)
+                                : (total - prefix) - prefix;
+    if (diff < best_diff) {
+      best_diff = diff;
+      best_index = i;
+      best_prefix = prefix;
+    }
+  }
+  *left_fraction =
+      total == 0 ? 0.5
+                 : static_cast<double>(best_prefix) / static_cast<double>(total);
+  return best_index;
+}
+
+/// One BASIC level inside a group (paper: "apply BASIC algorithm on L with P
+/// processors"). All members call this; internal barriers are group-local.
+/// `storage` is the group's file sets (the root group aliases the context's).
+void RunGroupLevel(BuildContext* ctx, Group* g, LevelStorage* storage, int tid,
+                   GiniScratch* scratch, ErrorSink* sink) {
+  const int num_attrs = ctx->data().num_attrs();
+  BuildCounters* counters = ctx->counters();
+
+  if (ctx->options().subtree_subroutine == Algorithm::kMwk) {
+    // Hybrid (paper section 3.4): the group runs one MWK level -- the E/W
+    // moving-window pipeline plus the gated split -- then synchronizes once
+    // before the master's regrouping decision.
+    g->mwk.RunLevel(ctx, &g->level, storage,
+                    static_cast<size_t>(ctx->options().window),
+                    storage->num_slots(), scratch, sink);
+    TimedBarrierWait(g->barrier.get(), counters);
+    return;
+  }
+
+  // E: dynamic attribute scheduling over the group's frontier.
+  if (!sink->aborted()) {
+    for (int64_t a = g->e_sched.Next(); a >= 0; a = g->e_sched.Next()) {
+      sink->Record(ctx->EvaluateAttrForLeaves(static_cast<int>(a), &g->level,
+                                              0, g->level.size(), scratch,
+                                              storage));
+      if (sink->aborted()) break;
+    }
+  }
+  TimedBarrierWait(g->barrier.get(), counters);
+
+  // W: the group master finds winners and builds the probes.
+  if (tid == g->master() && !sink->aborted()) {
+    for (LeafTask& leaf : g->level) {
+      Status s = ctx->RunW(&leaf, storage);
+      sink->Record(s);
+      if (!s.ok()) break;
+    }
+    ctx->AssignChildSlots(&g->level, storage->num_slots());
+    g->s_sched.Reset(num_attrs);
+  }
+  TimedBarrierWait(g->barrier.get(), counters);
+
+  // S: dynamic attribute scheduling into the group's alternate set.
+  if (!sink->aborted()) {
+    for (int64_t a = g->s_sched.Next(); a >= 0; a = g->s_sched.Next()) {
+      sink->Record(
+          ctx->SplitAttribute(static_cast<int>(a), g->level, storage));
+      if (sink->aborted()) break;
+    }
+  }
+  TimedBarrierWait(g->barrier.get(), counters);
+}
+
+}  // namespace
+
+Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
+  const int threads = ctx->options().num_threads;
+  BuildCounters* counters = ctx->counters();
+  ErrorSink sink;
+
+  Coordinator coord;
+  coord.mailbox.resize(threads);
+
+  if (level.empty()) return Status::OK();
+
+  // All processors start in one group on the root. The root group aliases
+  // the context's storage (the one InitRoot loaded) instead of owning one:
+  // Group::storage == nullptr means "use ctx->storage()".
+  {
+    std::vector<int> all(threads);
+    for (int t = 0; t < threads; ++t) all[t] = t;
+    auto root = NewGroup(ctx, std::move(all), std::move(level), nullptr);
+    for (int t = 0; t < threads; ++t) coord.mailbox[t] = root;
+  }
+
+  auto group_storage = [&](Group* g) -> LevelStorage* {
+    return g->storage ? g->storage.get() : ctx->storage();
+  };
+
+  // The master's post-level decision (paper Figure 7).
+  auto master_decide = [&](std::shared_ptr<Group> g) {
+    LevelStorage* storage = group_storage(g.get());
+    std::vector<LeafTask> next;
+    if (!sink.aborted()) {
+      Status s = storage->AdvanceLevel();
+      sink.Record(s);
+      if (s.ok()) next = ctx->CollectNextLevel(g->level);
+    }
+
+    std::lock_guard<std::mutex> lock(coord.mu);
+    if (sink.aborted()) next.clear();
+
+    if (next.empty()) {
+      // Group dissolves; every member heads for the FREE queue (mailbox
+      // stays empty). The last active group ends the build.
+      for (int m : g->members) coord.mailbox[m] = nullptr;
+      if (--coord.active_groups == 0) {
+        coord.done = true;
+      }
+      coord.cv.notify_all();
+    } else {
+      // Grab everyone waiting in the FREE queue (paper: "the group master
+      // checks if there are any new arrivals in the FREE queue and grabs
+      // all free processors").
+      std::vector<int> procs = g->members;
+      procs.insert(procs.end(), coord.free_queue.begin(),
+                   coord.free_queue.end());
+      coord.free_queue.clear();
+
+      if (next.size() == 1 || procs.size() == 1) {
+        // One leaf (all processors stay on it) or one processor (works the
+        // whole frontier alone): the group carries on, possibly enlarged.
+        auto carried = NewGroup(ctx, procs, std::move(next),
+                                std::move(g->storage));
+        for (int m : carried->members) coord.mailbox[m] = carried;
+      } else {
+        // Split the leaves (balanced by records) and the processors
+        // (proportionally) into two groups working independently.
+        double left_fraction = 0.5;
+        const size_t cut = BalancedLeafSplit(next, &left_fraction);
+        int left_procs = static_cast<int>(
+            static_cast<double>(procs.size()) * left_fraction + 0.5);
+        left_procs = std::clamp(left_procs, 1,
+                                static_cast<int>(procs.size()) - 1);
+
+        std::vector<LeafTask> left_leaves(
+            std::make_move_iterator(next.begin()),
+            std::make_move_iterator(next.begin() + cut));
+        std::vector<LeafTask> right_leaves(
+            std::make_move_iterator(next.begin() + cut),
+            std::make_move_iterator(next.end()));
+        std::vector<int> left_members(procs.begin(),
+                                      procs.begin() + left_procs);
+        std::vector<int> right_members(procs.begin() + left_procs,
+                                       procs.end());
+
+        // Children borrow the parent's freshly advanced current set for
+        // their first level and write into their own sets.
+        std::shared_ptr<FileSet> source = storage->current_set();
+        auto make_child = [&](std::vector<int> members,
+                              std::vector<LeafTask> leaves)
+            -> std::shared_ptr<Group> {
+          std::unique_ptr<LevelStorage> child_storage;
+          Status s = LevelStorage::CreateBorrowing(
+              ctx->env(), ctx->scratch_dir(),
+              StringPrintf("g%llu",
+                           static_cast<unsigned long long>(coord.group_seq++)),
+              ctx->data().num_attrs(), ctx->num_slots(), source,
+              &child_storage);
+          sink.Record(s);
+          return NewGroup(ctx, std::move(members), std::move(leaves),
+                          std::move(child_storage));
+        };
+        auto left_group = make_child(std::move(left_members),
+                                     std::move(left_leaves));
+        auto right_group = make_child(std::move(right_members),
+                                      std::move(right_leaves));
+        ++coord.active_groups;
+        for (int m : left_group->members) coord.mailbox[m] = left_group;
+        for (int m : right_group->members) coord.mailbox[m] = right_group;
+      }
+      coord.cv.notify_all();  // wakes grabbed FREE-queue processors
+    }
+
+    // Release the old group's members from the decision handshake.
+    {
+      std::lock_guard<std::mutex> glock(g->mu);
+      g->decision_ready = true;
+    }
+    g->cv.notify_all();
+  };
+
+  auto worker = [&](int tid) {
+    GiniScratch scratch;
+    std::shared_ptr<Group> g;
+    {
+      std::lock_guard<std::mutex> lock(coord.mu);
+      g = std::move(coord.mailbox[tid]);
+    }
+    for (;;) {
+      if (!g) {
+        // Idle: park in the FREE queue until some master grabs us (or the
+        // build finishes).
+        std::unique_lock<std::mutex> lock(coord.mu);
+        coord.free_queue.push_back(tid);
+        counters->free_queue_rounds.fetch_add(1, std::memory_order_relaxed);
+        {
+          WaitTimer wt(counters);
+          coord.cv.wait(lock, [&] {
+            return coord.mailbox[tid] != nullptr || coord.done;
+          });
+        }
+        if (coord.mailbox[tid] == nullptr) {
+          // done, and nobody grabbed us: drop out of the queue if still in.
+          auto it = std::find(coord.free_queue.begin(),
+                              coord.free_queue.end(), tid);
+          if (it != coord.free_queue.end()) coord.free_queue.erase(it);
+          return;
+        }
+        g = std::move(coord.mailbox[tid]);
+        // If we were grabbed, we are no longer free; a master that grabbed
+        // us already removed us from the queue.
+      }
+
+      RunGroupLevel(ctx, g.get(), group_storage(g.get()), tid, &scratch,
+                    &sink);
+
+      if (tid == g->master()) {
+        master_decide(g);
+      } else {
+        std::unique_lock<std::mutex> glock(g->mu);
+        if (!g->decision_ready) {
+          WaitTimer wt(counters);
+          g->cv.wait(glock, [&] { return g->decision_ready; });
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(coord.mu);
+        g = std::move(coord.mailbox[tid]);
+      }
+    }
+  };
+
+  SMPTREE_RETURN_IF_ERROR(RunThreadTeam(threads, &sink, worker));
+  return sink.status();
+}
+
+}  // namespace smptree

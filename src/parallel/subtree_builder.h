@@ -1,0 +1,29 @@
+// SUBTREE (paper section 3.3): dynamic subtree task parallelism. All
+// processors start as one group on the root. After each level a group's
+// master collects the new leaf frontier, grabs any processors parked in the
+// FREE queue, and either
+//   * dissolves the group (empty frontier -> everyone joins the FREE queue),
+//   * keeps the group together (one leaf left, or one processor), or
+//   * splits the processors and the leaves into two child groups that then
+//     proceed independently.
+// Within a group each level runs the BASIC scheme (dynamic attribute E,
+// master W, dynamic attribute S) using the group's own barrier and its own
+// attribute-file sets; a freshly split group borrows its parent's current
+// file set for its first level (hence the paper's "up to 2P files per
+// attribute"). The probe and the tree are global: groups own disjoint tid
+// ranges and distinct nodes.
+
+#ifndef SMPTREE_PARALLEL_SUBTREE_BUILDER_H_
+#define SMPTREE_PARALLEL_SUBTREE_BUILDER_H_
+
+#include <vector>
+
+#include "core/builder_context.h"
+
+namespace smptree {
+
+Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_PARALLEL_SUBTREE_BUILDER_H_

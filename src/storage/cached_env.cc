@@ -1,0 +1,178 @@
+#include "storage/cached_env.h"
+
+#include <cassert>
+#include <cstring>
+#include <functional>
+
+namespace smptree {
+
+PageCache::PageCache(size_t capacity_bytes, size_t page_size)
+    : capacity_bytes_(capacity_bytes), page_size_(page_size) {
+  assert(page_size > 0);
+}
+
+Status PageCache::Read(uint64_t file_id, uint64_t generation,
+                       uint64_t file_size, uint64_t offset, size_t n,
+                       void* out, const PageLoader& loader) {
+  if (offset + n > file_size) {
+    return Status::IOError("cached read past end of file");
+  }
+  char* dst = static_cast<char*>(out);
+  uint64_t pos = offset;
+  const uint64_t end = offset + n;
+  while (pos < end) {
+    const uint64_t page = pos / page_size_;
+    const uint64_t page_offset = page * page_size_;
+    const size_t in_page = static_cast<size_t>(pos - page_offset);
+    const size_t take =
+        std::min<uint64_t>(end - pos, page_size_ - in_page);
+
+    const Key key{file_id, generation, page};
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      std::memcpy(dst, it->second->data.data() + in_page, take);
+    } else {
+      ++stats_.misses;
+      // Load outside the lock: a page load is a real base-Env read and may
+      // be slow. A racing loader for the same page just does duplicate
+      // work; last insert wins (contents are identical -- append-only).
+      lock.unlock();
+      const size_t want = static_cast<size_t>(
+          std::min<uint64_t>(page_size_, file_size - page_offset));
+      std::vector<char> buf;
+      SMPTREE_RETURN_IF_ERROR(loader(page_offset, want, &buf));
+      if (buf.size() < in_page + take) {
+        return Status::IOError("page loader returned short page");
+      }
+      std::memcpy(dst, buf.data() + in_page, take);
+      lock.lock();
+      stats_.bytes_from_base += buf.size();
+      if (index_.find(key) == index_.end()) {
+        lru_.push_front(Entry{key, std::move(buf)});
+        index_[key] = lru_.begin();
+        used_bytes_ += lru_.front().data.size();
+        EvictIfNeeded();
+      }
+    }
+    dst += take;
+    pos += take;
+  }
+  return Status::OK();
+}
+
+void PageCache::EvictIfNeeded() {
+  while (used_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.data.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PageCache::InvalidatePage(uint64_t file_id, uint64_t generation,
+                               uint64_t page_index) {
+  const Key key{file_id, generation, page_index};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  used_bytes_ -= it->second->data.size();
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+CacheStats PageCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+namespace {
+
+class CachedFile final : public File {
+ public:
+  CachedFile(std::unique_ptr<File> base, std::shared_ptr<PageCache> cache,
+             uint64_t file_id)
+      : base_(std::move(base)), cache_(std::move(cache)), file_id_(file_id) {}
+
+  Status Read(uint64_t offset, size_t n, void* out) override {
+    if (n == 0) return Status::OK();
+    File* base = base_.get();
+    return cache_->Read(
+        file_id_, generation_, base_->Size(), offset, n, out,
+        [base](uint64_t page_offset, size_t want, std::vector<char>* buf) {
+          buf->resize(want);
+          return base->Read(page_offset, want, buf->data());
+        });
+  }
+
+  Status ReadView(uint64_t, size_t, const char**) override {
+    return Status::NotSupported("cached files have no stable view");
+  }
+
+  Status Append(const void* data, size_t n) override {
+    // Appends never modify existing bytes, so full cached pages stay
+    // valid; only the partial tail page (if cached) must be dropped.
+    const uint64_t old_size = base_->Size();
+    SMPTREE_RETURN_IF_ERROR(base_->Append(data, n));
+    if (old_size % cache_->page_size() != 0) {
+      cache_->InvalidatePage(file_id_, generation_,
+                             old_size / cache_->page_size());
+    }
+    return Status::OK();
+  }
+
+  Status Truncate() override {
+    // New generation: every cached page of the old content becomes
+    // unreachable and ages out of the LRU.
+    SMPTREE_RETURN_IF_ERROR(base_->Truncate());
+    ++generation_;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<File> base_;
+  std::shared_ptr<PageCache> cache_;
+  const uint64_t file_id_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+CachedEnv::CachedEnv(Env* base, size_t capacity_bytes, size_t page_size)
+    : base_(base),
+      cache_(std::make_shared<PageCache>(capacity_bytes, page_size)) {}
+
+Status CachedEnv::NewFile(const std::string& path,
+                          std::unique_ptr<File>* out) {
+  std::unique_ptr<File> file;
+  SMPTREE_RETURN_IF_ERROR(base_->NewFile(path, &file));
+  *out = std::make_unique<CachedFile>(
+      std::move(file), cache_,
+      next_file_id_.fetch_add(1, std::memory_order_relaxed));
+  return Status::OK();
+}
+
+Status CachedEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+bool CachedEnv::FileExists(const std::string& path) const {
+  return base_->FileExists(path);
+}
+
+Status CachedEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Status CachedEnv::RemoveDirRecursive(const std::string& path) {
+  return base_->RemoveDirRecursive(path);
+}
+
+std::string CachedEnv::Name() const { return "cached+" + base_->Name(); }
+
+}  // namespace smptree

@@ -1,0 +1,131 @@
+// CachedEnv: an LRU page cache layered over any Env, modelling the paper's
+// Machine A memory constraint honestly -- the 1999 machine had 128 MB of RAM
+// against >900 MB of attribute files, so most per-level reads went to disk.
+// Wrapping PosixEnv with a cache capacity *smaller than the working set*
+// reproduces that regime on a modern machine whose OS page cache would
+// otherwise hide the I/O; capacity larger than the data reproduces
+// Machine B behaviour through the same code path.
+//
+// Design notes:
+//  * Pages are fixed-size slices of a file keyed by (file generation,
+//    page index). Attribute files are append-only between truncations, so
+//    a cached page's bytes never change: Append only has to drop the
+//    (partial) tail page, and Truncate bumps the file's generation so all
+//    old pages become unreachable and age out of the LRU.
+//  * One mutex guards the whole cache; the builders' read concurrency is
+//    modest (a handful of threads), and the paper's machines serialized on
+//    the disk anyway.
+//  * ReadView is NotSupported, forcing the copy path -- cached data lives
+//    in evictable pages.
+
+#ifndef SMPTREE_STORAGE_CACHED_ENV_H_
+#define SMPTREE_STORAGE_CACHED_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace smptree {
+
+/// Cache effectiveness counters (cumulative).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_from_base = 0;  ///< bytes actually read from the base Env
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Shared LRU page store (internal; exposed for the File wrappers).
+class PageCache {
+ public:
+  PageCache(size_t capacity_bytes, size_t page_size);
+
+  size_t page_size() const { return page_size_; }
+
+  /// Copies `n` bytes at `offset` of file `file_id`/`generation` into
+  /// `out`, loading missing pages via `loader(page_offset, want, buf)`
+  /// which must fill `buf` with up to `want` bytes from the base file and
+  /// report how many were available.
+  using PageLoader = std::function<Status(uint64_t offset, size_t want,
+                                          std::vector<char>* buf)>;
+  Status Read(uint64_t file_id, uint64_t generation, uint64_t file_size,
+              uint64_t offset, size_t n, void* out, const PageLoader& loader);
+
+  /// Drops one page (the appended-to tail page).
+  void InvalidatePage(uint64_t file_id, uint64_t generation,
+                      uint64_t page_index);
+
+  CacheStats GetStats() const;
+
+ private:
+  struct Key {
+    uint64_t file_id;
+    uint64_t generation;
+    uint64_t page;
+    bool operator==(const Key& other) const {
+      return file_id == other.file_id && generation == other.generation &&
+             page == other.page;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.file_id * 0x9E3779B97F4A7C15ull;
+      h ^= k.generation + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      h ^= k.page + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::vector<char> data;
+  };
+
+  void EvictIfNeeded();  // holds mutex_
+
+  const size_t capacity_bytes_;
+  const size_t page_size_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  size_t used_bytes_ = 0;
+  CacheStats stats_;
+};
+
+/// The Env wrapper. Does not own `base`.
+class CachedEnv : public Env {
+ public:
+  CachedEnv(Env* base, size_t capacity_bytes, size_t page_size = 1 << 16);
+
+  Status NewFile(const std::string& path, std::unique_ptr<File>* out) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  Status CreateDir(const std::string& path) override;
+  Status RemoveDirRecursive(const std::string& path) override;
+  std::string Name() const override;
+
+  CacheStats GetStats() const { return cache_->GetStats(); }
+
+ private:
+  Env* base_;
+  std::shared_ptr<PageCache> cache_;
+  std::atomic<uint64_t> next_file_id_{1};
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_STORAGE_CACHED_ENV_H_

@@ -1,0 +1,7 @@
+#include "storage/env.h"
+
+namespace smptree {
+
+// Env::Posix() and Env::NewMem() are defined in posix_env.cc / mem_env.cc.
+
+}  // namespace smptree

@@ -1,0 +1,88 @@
+// Environment abstraction over the place attribute-list files live (RocksDB
+// idiom). The paper evaluates two machine configurations:
+//
+//   Machine A - data too large for memory, attribute lists paged from local
+//               disk every level  -> PosixEnv (real files).
+//   Machine B - memory large enough to cache everything  -> MemEnv
+//               (files are RAM buffers).
+//
+// The builders only see this interface, so the disk/memory distinction -- the
+// variable the paper's two experiment halves change -- is isolated here.
+//
+// File model: a File supports positional reads, appends, and truncation back
+// to empty (the paper's *reusable* physical attribute files). Contract used
+// by the builders: at most one appender per file at a time; reads only target
+// byte ranges written before the reader started (enforced by the phase
+// structure), so implementations need no internal locking beyond what their
+// backing store requires.
+
+#ifndef SMPTREE_STORAGE_ENV_H_
+#define SMPTREE_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace smptree {
+
+/// A reusable scratch file: append-write, positional read, truncate.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads exactly `n` bytes at `offset` into `out`. Fails with IOError on a
+  /// short read (the storage layer always knows segment sizes exactly).
+  virtual Status Read(uint64_t offset, size_t n, void* out) = 0;
+
+  /// Zero-copy read: points `*data` at `n` bytes at `offset` valid until the
+  /// next Append/Truncate on this file. Returns NotSupported when the
+  /// backing store cannot expose stable memory (e.g. real files); callers
+  /// fall back to Read.
+  virtual Status ReadView(uint64_t offset, size_t n, const char** data) = 0;
+
+  /// Appends `n` bytes at the end of the file.
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Discards all contents; the file is reusable immediately.
+  virtual Status Truncate() = 0;
+
+  /// Current size in bytes.
+  virtual uint64_t Size() const = 0;
+};
+
+/// Factory for files plus the few filesystem operations the library needs.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens (creating or truncating) a scratch file. Paths use '/' separators
+  /// relative to whatever namespace the Env implements.
+  virtual Status NewFile(const std::string& path, std::unique_ptr<File>* out) = 0;
+
+  /// Removes a file; NotFound if absent.
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  /// Creates a directory (and parents). MemEnv treats this as a no-op.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Recursively removes a directory tree. MemEnv drops matching prefixes.
+  virtual Status RemoveDirRecursive(const std::string& path) = 0;
+
+  /// Human-readable name for logs and benchmark output ("posix", "mem").
+  virtual std::string Name() const = 0;
+
+  /// Process-wide POSIX environment (real files).
+  static Env* Posix();
+
+  /// Creates a fresh, isolated in-memory environment.
+  static std::unique_ptr<Env> NewMem();
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_STORAGE_ENV_H_

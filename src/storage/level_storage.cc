@@ -1,0 +1,140 @@
+#include "storage/level_storage.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+Status FileSet::Create(Env* env, const std::string& dir,
+                       const std::string& prefix, int num_attrs, int num_slots,
+                       std::shared_ptr<FileSet>* out) {
+  assert(num_attrs > 0 && num_slots > 0);
+  std::shared_ptr<FileSet> set(new FileSet());
+  set->env_ = env;
+  set->num_attrs_ = num_attrs;
+  set->num_slots_ = num_slots;
+  set->files_.resize(static_cast<size_t>(num_attrs) * num_slots);
+  set->paths_.reserve(set->files_.size());
+  for (int a = 0; a < num_attrs; ++a) {
+    for (int s = 0; s < num_slots; ++s) {
+      std::string path =
+          dir + "/" + prefix + StringPrintf(".a%d.s%d", a, s);
+      SMPTREE_RETURN_IF_ERROR(set->file(a, s)->Open(env, path));
+      set->paths_.push_back(std::move(path));
+    }
+  }
+  *out = std::move(set);
+  return Status::OK();
+}
+
+FileSet::~FileSet() {
+  if (env_ == nullptr) return;
+  // Close handles before unlinking (file objects own the descriptors).
+  files_.clear();
+  for (const auto& path : paths_) {
+    env_->DeleteFile(path);  // best effort; scratch files
+  }
+}
+
+Status FileSet::FlushAll() {
+  for (auto& f : files_) SMPTREE_RETURN_IF_ERROR(f.Flush());
+  return Status::OK();
+}
+
+Status FileSet::TruncateAll() {
+  for (auto& f : files_) SMPTREE_RETURN_IF_ERROR(f.Truncate());
+  return Status::OK();
+}
+
+Status LevelStorage::Create(Env* env, const std::string& dir,
+                            const std::string& prefix, int num_attrs,
+                            int num_slots, std::unique_ptr<LevelStorage>* out) {
+  std::unique_ptr<LevelStorage> ls(new LevelStorage());
+  ls->env_ = env;
+  ls->dir_ = dir;
+  ls->prefix_ = prefix;
+  ls->num_attrs_ = num_attrs;
+  ls->num_slots_ = num_slots;
+  SMPTREE_RETURN_IF_ERROR(env->CreateDir(dir));
+  SMPTREE_RETURN_IF_ERROR(FileSet::Create(env, dir, prefix + ".cur",
+                                          num_attrs, num_slots, &ls->current_));
+  SMPTREE_RETURN_IF_ERROR(FileSet::Create(env, dir, prefix + ".alt",
+                                          num_attrs, num_slots, &ls->alternate_));
+  *out = std::move(ls);
+  return Status::OK();
+}
+
+Status LevelStorage::CreateBorrowing(Env* env, const std::string& dir,
+                                     const std::string& prefix, int num_attrs,
+                                     int num_slots,
+                                     std::shared_ptr<FileSet> borrowed,
+                                     std::unique_ptr<LevelStorage>* out) {
+  assert(borrowed != nullptr);
+  assert(borrowed->num_attrs() == num_attrs);
+  std::unique_ptr<LevelStorage> ls(new LevelStorage());
+  ls->env_ = env;
+  ls->dir_ = dir;
+  ls->prefix_ = prefix;
+  ls->num_attrs_ = num_attrs;
+  ls->num_slots_ = num_slots;
+  ls->borrowing_ = true;
+  SMPTREE_RETURN_IF_ERROR(env->CreateDir(dir));
+  ls->current_ = std::move(borrowed);
+  SMPTREE_RETURN_IF_ERROR(FileSet::Create(env, dir, prefix + ".own0",
+                                          num_attrs, num_slots, &ls->alternate_));
+  SMPTREE_RETURN_IF_ERROR(FileSet::Create(env, dir, prefix + ".own1",
+                                          num_attrs, num_slots, &ls->spare_));
+  *out = std::move(ls);
+  return Status::OK();
+}
+
+Status LevelStorage::AppendRoot(int attr, std::span<const AttrRecord> records) {
+  assert(!borrowing_);
+  records_written_.fetch_add(records.size(), std::memory_order_relaxed);
+  return current_->file(attr, 0)->Append(records);
+}
+
+Status LevelStorage::FinishRootLoad() { return current_->FlushAll(); }
+
+Status LevelStorage::ReadSegment(int attr, const Segment& seg,
+                                 SegmentBuffer* buf) {
+  records_read_.fetch_add(seg.count, std::memory_order_relaxed);
+  return current_->file(attr, seg.slot)->ReadSegment(seg.offset, seg.count, buf);
+}
+
+Status LevelStorage::AppendChild(int attr, int slot,
+                                 std::span<const AttrRecord> records) {
+  records_written_.fetch_add(records.size(), std::memory_order_relaxed);
+  return alternate_->file(attr, slot)->Append(records);
+}
+
+Status LevelStorage::AppendChild(int attr, int slot, const AttrRecord& record) {
+  records_written_.fetch_add(1, std::memory_order_relaxed);
+  return alternate_->file(attr, slot)->Append(record);
+}
+
+Status LevelStorage::FlushAlternate(int attr) {
+  for (int s = 0; s < num_slots_; ++s) {
+    SMPTREE_RETURN_IF_ERROR(alternate_->file(attr, s)->Flush());
+  }
+  return Status::OK();
+}
+
+Status LevelStorage::AdvanceLevel() {
+  SMPTREE_RETURN_IF_ERROR(alternate_->FlushAll());
+  if (borrowing_) {
+    // Release the parent group's set (siblings may still be reading it; the
+    // shared_ptr keeps it alive for them) and promote the owned spare.
+    current_ = std::move(alternate_);
+    alternate_ = std::move(spare_);
+    spare_.reset();
+    borrowing_ = false;
+    return Status::OK();
+  }
+  SMPTREE_RETURN_IF_ERROR(current_->TruncateAll());
+  std::swap(current_, alternate_);
+  return Status::OK();
+}
+
+}  // namespace smptree

@@ -1,0 +1,159 @@
+// LevelStorage: the paper's reusable physical attribute-file scheme
+// (sections 2.3 and 3.2.2).
+//
+// Per attribute there are `num_slots` files for the current level plus
+// `num_slots` alternates, i.e. 2K files per attribute:
+//   * BASIC / serial SPRINT: K = 2 (the "left children" file and the "right
+//     children" file, plus two alternates -- the paper's four files).
+//   * FWK / MWK with window K: K slot files so all K leaves of a block have
+//     distinct files and evaluation can overlap probe construction with no
+//     read/write interference.
+//   * SUBTREE: each processor group owns its own sets (up to ~2P files per
+//     attribute across groups); a freshly split group *borrows* its parent
+//     group's current set for its first level.
+//
+// Leaf lists are contiguous segments inside a slot file. A Segment is
+// (slot, record offset, record count); the builders assign children to slots
+// in *relabelled* order (pure children excluded -- paper Figure 5) and
+// precompute offsets from per-slot running totals, so the split phase can
+// append each attribute's records independently with no coordination.
+//
+// Concurrency contract (enforced by the builders' phase structure):
+//   * ReadSegment on the current set: any number of concurrent readers.
+//   * AppendChild on the alternate set: one thread per attribute at a time.
+//   * AdvanceLevel: exclusive.
+
+#ifndef SMPTREE_STORAGE_LEVEL_STORAGE_H_
+#define SMPTREE_STORAGE_LEVEL_STORAGE_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/record_file.h"
+
+namespace smptree {
+
+/// Location of one leaf's attribute list inside a slot file. Offsets/counts
+/// are in records and identical across attributes (every attribute list of a
+/// leaf has the same length and children are appended in the same order).
+struct Segment {
+  int32_t slot = 0;
+  uint64_t offset = 0;
+  uint64_t count = 0;
+};
+
+/// A set of `num_attrs` x `num_slots` physical files.
+class FileSet {
+ public:
+  /// Creates and opens all files under `dir` with names
+  /// `<prefix>.a<attr>.s<slot>`. Files are deleted when the FileSet dies.
+  static Status Create(Env* env, const std::string& dir,
+                       const std::string& prefix, int num_attrs, int num_slots,
+                       std::shared_ptr<FileSet>* out);
+
+  ~FileSet();
+
+  FileSet(const FileSet&) = delete;
+  FileSet& operator=(const FileSet&) = delete;
+
+  AttrRecordFile* file(int attr, int slot) {
+    return &files_[static_cast<size_t>(attr) * num_slots_ + slot];
+  }
+
+  int num_attrs() const { return num_attrs_; }
+  int num_slots() const { return num_slots_; }
+
+  /// Flushes every file's append buffer.
+  Status FlushAll();
+
+  /// Truncates every file for reuse.
+  Status TruncateAll();
+
+ private:
+  FileSet() = default;
+
+  Env* env_ = nullptr;
+  std::vector<std::string> paths_;
+  std::vector<AttrRecordFile> files_;
+  int num_attrs_ = 0;
+  int num_slots_ = 0;
+};
+
+/// Double-buffered (current / alternate) file sets for one tree builder or
+/// one SUBTREE processor group.
+class LevelStorage {
+ public:
+  /// Standard storage: two owned sets. Used by the serial builder, BASIC,
+  /// FWK, MWK, and the root SUBTREE group.
+  static Status Create(Env* env, const std::string& dir,
+                       const std::string& prefix, int num_attrs, int num_slots,
+                       std::unique_ptr<LevelStorage>* out);
+
+  /// SUBTREE child-group storage: the first level reads from `borrowed`
+  /// (the parent group's current set, kept alive by the shared_ptr) and
+  /// writes into an owned set. After the first AdvanceLevel the borrowed set
+  /// is released.
+  static Status CreateBorrowing(Env* env, const std::string& dir,
+                                const std::string& prefix, int num_attrs,
+                                int num_slots, std::shared_ptr<FileSet> borrowed,
+                                std::unique_ptr<LevelStorage>* out);
+
+  int num_slots() const { return num_slots_; }
+  int num_attrs() const { return num_attrs_; }
+
+  /// The set current reads come from; a splitting SUBTREE group hands this
+  /// to its children.
+  std::shared_ptr<FileSet> current_set() const { return current_; }
+
+  /// Appends root-level records for `attr` into current-set slot 0 (initial
+  /// attribute-list load after setup and pre-sort).
+  Status AppendRoot(int attr, std::span<const AttrRecord> records);
+
+  /// Flushes the current set after the root load.
+  Status FinishRootLoad();
+
+  /// Reads a leaf's attribute list from the current set.
+  Status ReadSegment(int attr, const Segment& seg, SegmentBuffer* buf);
+
+  /// Appends child records for `attr` into alternate-set slot `slot`
+  /// (buffered). Single writer per attribute.
+  Status AppendChild(int attr, int slot, std::span<const AttrRecord> records);
+  Status AppendChild(int attr, int slot, const AttrRecord& record);
+
+  /// Flushes all alternate files of `attr` (end of the split scan of one
+  /// attribute; makes the writes visible before the level swap).
+  Status FlushAlternate(int attr);
+
+  /// Makes the alternates current for the next level: flushes them, releases
+  /// a borrowed set (or truncates the owned previous current), and swaps.
+  Status AdvanceLevel();
+
+  /// Total records read / written through this storage (for the benchmarks).
+  uint64_t records_read() const { return records_read_.load(std::memory_order_relaxed); }
+  uint64_t records_written() const { return records_written_.load(std::memory_order_relaxed); }
+
+ private:
+  LevelStorage() = default;
+
+  Env* env_ = nullptr;
+  std::string dir_;
+  std::string prefix_;
+  int num_attrs_ = 0;
+  int num_slots_ = 0;
+
+  std::shared_ptr<FileSet> current_;    // read side
+  std::shared_ptr<FileSet> alternate_;  // write side
+  std::shared_ptr<FileSet> spare_;      // set to promote after a borrowed
+                                        // first level (owned, empty)
+  bool borrowing_ = false;
+
+  std::atomic<uint64_t> records_read_{0};
+  std::atomic<uint64_t> records_written_{0};
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_STORAGE_LEVEL_STORAGE_H_

@@ -1,0 +1,134 @@
+// Real-filesystem Env: the paper's Machine A ("data is too large to fit in
+// memory and must be paged from a local disk as needed"). Attribute lists
+// round-trip through ordinary files using pread/write on O_RDWR descriptors.
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "storage/env.h"
+#include "util/string_util.h"
+
+namespace smptree {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + std::strerror(errno));
+}
+
+class PosixFile final : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, void* out) override {
+    char* dst = static_cast<char*>(out);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r = ::pread(fd_, dst + done, n - done,
+                                static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread " + path_);
+      }
+      if (r == 0) {
+        return Status::IOError(StringPrintf(
+            "short read of %zu bytes at %llu in %s (size %llu)", n,
+            static_cast<unsigned long long>(offset), path_.c_str(),
+            static_cast<unsigned long long>(size_)));
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status ReadView(uint64_t, size_t, const char**) override {
+    return Status::NotSupported("posix files have no stable in-memory view");
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* src = static_cast<const char*>(data);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t w = ::pwrite(fd_, src + done, n - done,
+                                 static_cast<off_t>(size_ + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite " + path_);
+      }
+      done += static_cast<size_t>(w);
+    }
+    size_ += n;
+    return Status::OK();
+  }
+
+  Status Truncate() override {
+    if (::ftruncate(fd_, 0) != 0) return ErrnoStatus("ftruncate " + path_);
+    size_ = 0;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t size_ = 0;  // we always open truncated, so we track size ourselves
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewFile(const std::string& path, std::unique_ptr<File>* out) override {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path);
+    *out = std::make_unique<PosixFile>(fd, path);
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return ErrnoStatus("unlink " + path);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) const override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status CreateDir(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status RemoveDirRecursive(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+    if (ec) return Status::IOError("rm -r " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  std::string Name() const override { return "posix"; }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace smptree

@@ -1,0 +1,86 @@
+#include "storage/record_file.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+Status AttrRecordFile::Open(Env* env, const std::string& path) {
+  buffer_.clear();
+  buffer_.reserve(kAppendBufferRecords);
+  flushed_records_ = 0;
+  return env->NewFile(path, &file_);
+}
+
+Status AttrRecordFile::Append(std::span<const AttrRecord> records) {
+  assert(is_open());
+  // Fast path: large batch with an empty buffer goes straight through.
+  if (buffer_.empty() && records.size() >= kAppendBufferRecords) {
+    SMPTREE_RETURN_IF_ERROR(
+        file_->Append(records.data(), records.size_bytes()));
+    flushed_records_ += records.size();
+    return Status::OK();
+  }
+  buffer_.insert(buffer_.end(), records.begin(), records.end());
+  if (buffer_.size() >= kAppendBufferRecords) return Flush();
+  return Status::OK();
+}
+
+Status AttrRecordFile::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  SMPTREE_RETURN_IF_ERROR(
+      file_->Append(buffer_.data(), buffer_.size() * sizeof(AttrRecord)));
+  flushed_records_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status AttrRecordFile::ReadSegment(uint64_t offset, uint64_t count,
+                                   SegmentBuffer* buf) {
+  assert(is_open());
+  if (count == 0) {
+    buf->data_ = nullptr;
+    buf->count_ = 0;
+    return Status::OK();
+  }
+  if (offset + count > flushed_records_) {
+    return Status::Internal(StringPrintf(
+        "segment [%llu,+%llu) past flushed end %llu",
+        static_cast<unsigned long long>(offset),
+        static_cast<unsigned long long>(count),
+        static_cast<unsigned long long>(flushed_records_)));
+  }
+  const uint64_t byte_offset = offset * sizeof(AttrRecord);
+  const size_t byte_count = count * sizeof(AttrRecord);
+
+  const char* view = nullptr;
+  Status vs = file_->ReadView(byte_offset, byte_count, &view);
+  if (vs.ok()) {
+    buf->data_ = reinterpret_cast<const AttrRecord*>(view);
+    buf->count_ = count;
+    return Status::OK();
+  }
+  if (!vs.IsNotSupported()) return vs;
+
+  buf->owned_.resize(count);
+  SMPTREE_RETURN_IF_ERROR(
+      file_->Read(byte_offset, byte_count, buf->owned_.data()));
+  buf->data_ = buf->owned_.data();
+  buf->count_ = count;
+  return Status::OK();
+}
+
+Status AttrRecordFile::Truncate() {
+  assert(is_open());
+  buffer_.clear();
+  flushed_records_ = 0;
+  return file_->Truncate();
+}
+
+uint64_t AttrRecordFile::NumRecords() const {
+  return flushed_records_ + buffer_.size();
+}
+
+}  // namespace smptree

@@ -1,0 +1,81 @@
+// AttrRecordFile: a physical attribute file holding a flat array of
+// AttrRecord (paper section 2.3 "Avoiding multiple attribute lists").
+// Appends are buffered so the split phase issues large sequential writes;
+// reads fetch whole leaf segments (one positional read per segment) and use
+// the Env's zero-copy view when available.
+
+#ifndef SMPTREE_STORAGE_RECORD_FILE_H_
+#define SMPTREE_STORAGE_RECORD_FILE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/records.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace smptree {
+
+/// Read result for a leaf segment: either a zero-copy view into an in-memory
+/// file or an owned buffer filled from disk. `records()` is valid until the
+/// SegmentBuffer is reused or destroyed (and, for views, until the backing
+/// file is appended to or truncated).
+class SegmentBuffer {
+ public:
+  std::span<const AttrRecord> records() const {
+    return {data_, count_};
+  }
+
+ private:
+  friend class AttrRecordFile;
+  const AttrRecord* data_ = nullptr;
+  size_t count_ = 0;
+  std::vector<AttrRecord> owned_;
+};
+
+/// One physical attribute file.
+class AttrRecordFile {
+ public:
+  /// Buffered appends flush once this many records accumulate.
+  static constexpr size_t kAppendBufferRecords = 8192;
+
+  AttrRecordFile() = default;
+
+  /// Opens (creating/truncating) the file at `path` in `env`.
+  Status Open(Env* env, const std::string& path);
+
+  /// Appends records behind the write buffer.
+  Status Append(std::span<const AttrRecord> records);
+
+  /// Appends a single record.
+  Status Append(const AttrRecord& record) {
+    return Append(std::span<const AttrRecord>(&record, 1));
+  }
+
+  /// Flushes the write buffer to the underlying file.
+  Status Flush();
+
+  /// Reads `count` records starting at record index `offset` into `buf`.
+  /// All records must have been flushed (the storage layer flushes at phase
+  /// boundaries before any reads).
+  Status ReadSegment(uint64_t offset, uint64_t count, SegmentBuffer* buf);
+
+  /// Empties the file and the write buffer for reuse by the next level.
+  Status Truncate();
+
+  /// Records written (including any still buffered).
+  uint64_t NumRecords() const;
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::unique_ptr<File> file_;
+  std::vector<AttrRecord> buffer_;
+  uint64_t flushed_records_ = 0;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_STORAGE_RECORD_FILE_H_

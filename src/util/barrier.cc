@@ -1,0 +1,44 @@
+#include "util/barrier.h"
+
+#include <cassert>
+
+namespace smptree {
+
+Barrier::Barrier(int participants) : participants_(participants) {
+  assert(participants > 0);
+}
+
+bool Barrier::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint64_t my_generation = generation_;
+  if (++arrived_ == participants_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return true;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  return false;
+}
+
+CountdownGate::CountdownGate(int count) : remaining_(count) {
+  assert(count >= 0);
+}
+
+void CountdownGate::CountDown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(remaining_ > 0);
+  if (--remaining_ == 0) cv_.notify_all();
+}
+
+void CountdownGate::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return remaining_ == 0; });
+}
+
+bool CountdownGate::IsOpen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return remaining_ == 0;
+}
+
+}  // namespace smptree

@@ -1,0 +1,60 @@
+// Synchronization helpers used by the SMP builders.
+//
+// Barrier       - reusable counting barrier for a fixed participant count
+//                 (the paper's per-phase and per-block barriers).
+// CountdownGate - one-shot "N events then open" latch with waiters.
+// SyncStats     - per-thread accounting of time spent blocked, used by the
+//                 benchmarks to report synchronization overhead.
+
+#ifndef SMPTREE_UTIL_BARRIER_H_
+#define SMPTREE_UTIL_BARRIER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace smptree {
+
+/// Reusable counting barrier (sense-reversing via a generation counter).
+/// All `participants` threads must call Wait(); the last one releases the
+/// rest and the barrier is immediately reusable for the next phase.
+class Barrier {
+ public:
+  explicit Barrier(int participants);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants arrive. Returns true for exactly one
+  /// caller per phase (the "serial" thread, useful for master-only work).
+  bool Wait();
+
+  int participants() const { return participants_; }
+
+ private:
+  const int participants_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// One-shot latch: opens after `count` calls to CountDown(); Wait() blocks
+/// until open.
+class CountdownGate {
+ public:
+  explicit CountdownGate(int count);
+
+  void CountDown();
+  void Wait();
+  bool IsOpen();
+
+ private:
+  int remaining_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_UTIL_BARRIER_H_

@@ -1,0 +1,55 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+namespace smptree {
+
+void BitVector::Resize(size_t n) {
+  const size_t words = (n + 63) / 64;
+  // std::atomic is not movable, so build a fresh array and copy word values.
+  std::vector<std::atomic<uint64_t>> next(words);
+  const size_t keep = std::min(words, words_.size());
+  for (size_t i = 0; i < keep; ++i) {
+    next[i].store(words_[i].load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+  words_ = std::move(next);
+  size_ = n;
+  // Mask stray bits past the new size in the last word.
+  if (size_ % 64 != 0 && !words_.empty()) {
+    const uint64_t mask = (uint64_t{1} << (size_ % 64)) - 1;
+    words_.back().fetch_and(mask, std::memory_order_relaxed);
+  }
+}
+
+void BitVector::Set(size_t i, bool value) {
+  const uint64_t mask = uint64_t{1} << (i % 64);
+  if (value) {
+    words_[i / 64].fetch_or(mask, std::memory_order_relaxed);
+  } else {
+    words_[i / 64].fetch_and(~mask, std::memory_order_relaxed);
+  }
+}
+
+bool BitVector::Get(size_t i) const {
+  return (words_[i / 64].load(std::memory_order_relaxed) >> (i % 64)) & 1;
+}
+
+bool BitVector::GetAtomic(size_t i) const {
+  return (words_[i / 64].load(std::memory_order_acquire) >> (i % 64)) & 1;
+}
+
+void BitVector::Clear() {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+size_t BitVector::CountOnes() const {
+  size_t n = 0;
+  for (const auto& w : words_) {
+    n += static_cast<size_t>(
+        std::popcount(w.load(std::memory_order_relaxed)));
+  }
+  return n;
+}
+
+}  // namespace smptree

@@ -1,0 +1,59 @@
+// Fixed-size bit vector used as the global tid probe structure (paper
+// section 3.2.1, option 2): one bit per training tuple, set while the
+// winning attribute is scanned and consulted while the losing attribute
+// lists are split.
+//
+// Concurrency contract: during the W phase distinct leaves own disjoint tid
+// ranges, but two tids from different leaves can share a 64-bit word, so the
+// setters use atomic RMW operations. Readers during the S phase run after
+// the corresponding leaf's W completed (enforced by the builders), so plain
+// loads are fine there; we still expose an atomic read used by MWK where W
+// and S of different leaves overlap.
+
+#ifndef SMPTREE_UTIL_BITVECTOR_H_
+#define SMPTREE_UTIL_BITVECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smptree {
+
+/// Dense bit vector with atomic per-bit writes.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `n` bits, all cleared.
+  explicit BitVector(size_t n) { Resize(n); }
+
+  /// Resizes to `n` bits; newly exposed bits are cleared.
+  void Resize(size_t n);
+
+  size_t size() const { return size_; }
+
+  /// Sets bit `i` to `value` with a relaxed atomic RMW (safe for concurrent
+  /// setters of different bits in the same word).
+  void Set(size_t i, bool value);
+
+  /// Non-atomic read (requires happens-before with the corresponding Set).
+  bool Get(size_t i) const;
+
+  /// Atomic (acquire) read for phases that overlap with setters of other
+  /// leaves' bits.
+  bool GetAtomic(size_t i) const;
+
+  /// Clears all bits.
+  void Clear();
+
+  /// Number of set bits.
+  size_t CountOnes() const;
+
+ private:
+  std::vector<std::atomic<uint64_t>> words_;
+  size_t size_ = 0;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_UTIL_BITVECTOR_H_

@@ -1,0 +1,57 @@
+// Minimal leveled logger. Thread-safe; writes to stderr by default.
+//
+// Usage:
+//   SMPTREE_LOG(kInfo) << "built level " << level << " with " << n << " leaves";
+//
+// The macro evaluates its stream expression only when the message level is
+// at or above the global threshold, so verbose logging is free when disabled.
+
+#ifndef SMPTREE_UTIL_LOGGING_H_
+#define SMPTREE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace smptree {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global log threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level tag and timestamp) on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace smptree
+
+#define SMPTREE_LOG(level)                                              \
+  if (::smptree::LogLevel::level >= ::smptree::GetLogLevel())           \
+  ::smptree::internal::LogMessage(::smptree::LogLevel::level, __FILE__, \
+                                  __LINE__)                             \
+      .stream()
+
+#endif  // SMPTREE_UTIL_LOGGING_H_

@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace smptree {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStat::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " min=" << min()
+     << " max=" << max() << " sd=" << stddev();
+  return os.str();
+}
+
+void BuildCounters::Reset() {
+  barrier_waits = 0;
+  condvar_waits = 0;
+  records_scanned = 0;
+  records_split = 0;
+  attr_tasks = 0;
+  free_queue_rounds = 0;
+  wait_nanos = 0;
+  e_nanos = 0;
+  w_nanos = 0;
+  s_nanos = 0;
+}
+
+std::string BuildCounters::ToString() const {
+  std::ostringstream os;
+  os << "barriers=" << barrier_waits.load() << " cv_waits=" << condvar_waits.load()
+     << " scanned=" << records_scanned.load() << " split=" << records_split.load()
+     << " tasks=" << attr_tasks.load() << " free_rounds=" << free_queue_rounds.load()
+     << " wait_ms=" << static_cast<double>(wait_nanos.load()) / 1e6;
+  return os.str();
+}
+
+}  // namespace smptree

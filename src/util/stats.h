@@ -1,0 +1,85 @@
+// Small statistics helpers for the benchmark harnesses: online accumulation
+// of min/max/mean/stddev, and counters the builders export (synchronization
+// waits, bytes moved through the storage layer, leaves processed).
+
+#ifndef SMPTREE_UTIL_STATS_H_
+#define SMPTREE_UTIL_STATS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace smptree {
+
+/// Welford online accumulator for a stream of doubles.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Counters a parallel build exports for the ablation benchmarks. All fields
+/// are cumulative across threads and levels.
+struct BuildCounters {
+  std::atomic<uint64_t> barrier_waits{0};       ///< Barrier::Wait calls.
+  std::atomic<uint64_t> condvar_waits{0};       ///< cond-var sleeps (MWK/SUBTREE).
+  std::atomic<uint64_t> records_scanned{0};     ///< attribute records read in E.
+  std::atomic<uint64_t> records_split{0};       ///< attribute records moved in S.
+  std::atomic<uint64_t> attr_tasks{0};          ///< dynamic (leaf,attr) tasks taken.
+  std::atomic<uint64_t> free_queue_rounds{0};   ///< SUBTREE FREE-queue cycles.
+  std::atomic<uint64_t> wait_nanos{0};          ///< total blocked time (ns).
+
+  // Per-phase CPU time across all threads (paper steps E, W, S), letting
+  // the benchmarks show e.g. how large a share of BASIC's critical path the
+  // master-only W step is.
+  std::atomic<uint64_t> e_nanos{0};
+  std::atomic<uint64_t> w_nanos{0};
+  std::atomic<uint64_t> s_nanos{0};
+
+  void Reset();
+  std::string ToString() const;
+};
+
+/// RAII accumulator adding a scope's wall time to one phase counter.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::atomic<uint64_t>* sink) : sink_(sink) {
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::atomic<uint64_t>* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_UTIL_STATS_H_

@@ -1,0 +1,154 @@
+// Status and Result<T>: exception-free error handling in the RocksDB style.
+//
+// Library functions that can fail return a Status (or a Result<T> when they
+// also produce a value). A Status is cheap to copy in the OK case (no
+// allocation) and carries a code plus a human-readable message otherwise.
+
+#ifndef SMPTREE_UTIL_STATUS_H_
+#define SMPTREE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace smptree {
+
+/// Error category for a failed operation.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kAborted,
+  kInternal,
+};
+
+/// Outcome of an operation that can fail. OK statuses are free to create and
+/// copy; error statuses allocate once for the message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Message attached at construction; empty for OK.
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string_view msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::string(msg)})) {}
+
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// A value or an error. Holds exactly one of the two; accessing the value of
+/// an errored Result is a programming error (checked by assert).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;`.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: `return Status::IOError(...)`.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(var_).ok() && "Result from OK status has no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SMPTREE_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    ::smptree::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assigns a Result's value to `lhs`, or propagates its error status.
+#define SMPTREE_ASSIGN_OR_RETURN(lhs, expr)  \
+  SMPTREE_ASSIGN_OR_RETURN_IMPL_(            \
+      SMPTREE_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define SMPTREE_CONCAT_INNER_(a, b) a##b
+#define SMPTREE_CONCAT_(a, b) SMPTREE_CONCAT_INNER_(a, b)
+#define SMPTREE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace smptree
+
+#endif  // SMPTREE_UTIL_STATUS_H_

@@ -1,0 +1,47 @@
+// Wall-clock stopwatch used by the benchmark harnesses to reproduce the
+// paper's build / setup / sort time breakdown.
+
+#ifndef SMPTREE_UTIL_TIMER_H_
+#define SMPTREE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace smptree {
+
+/// Monotonic stopwatch. Start() resets; Seconds() reads elapsed time without
+/// stopping.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since the last Start().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since the last Start().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple timed sections.
+class AccumTimer {
+ public:
+  void Resume() { timer_.Start(); }
+  void Pause() { total_ += timer_.Seconds(); }
+  double Seconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_UTIL_TIMER_H_

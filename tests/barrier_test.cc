@@ -1,0 +1,89 @@
+#include "util/barrier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace smptree {
+namespace {
+
+TEST(BarrierTest, SingleParticipantNeverBlocks) {
+  Barrier barrier(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(barrier.Wait());
+}
+
+TEST(BarrierTest, ExactlyOneSerialThreadPerPhase) {
+  const int threads = 8;
+  const int phases = 50;
+  Barrier barrier(threads);
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> team;
+  for (int t = 0; t < threads; ++t) {
+    team.emplace_back([&] {
+      for (int p = 0; p < phases; ++p) {
+        if (barrier.Wait()) serial_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  EXPECT_EQ(serial_count.load(), phases);
+}
+
+TEST(BarrierTest, PhasesAreOrdered) {
+  // No thread may enter phase p+1 before all finished phase p.
+  const int threads = 4;
+  const int phases = 200;
+  Barrier barrier(threads);
+  std::atomic<int> in_phase{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> team;
+  for (int t = 0; t < threads; ++t) {
+    team.emplace_back([&] {
+      for (int p = 0; p < phases; ++p) {
+        in_phase.fetch_add(1);
+        barrier.Wait();
+        // Between the two barriers every thread must observe the full count.
+        if (in_phase.load() != threads * (p + 1)) violation.store(true);
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(CountdownGateTest, OpensAfterExactCount) {
+  CountdownGate gate(3);
+  EXPECT_FALSE(gate.IsOpen());
+  gate.CountDown();
+  gate.CountDown();
+  EXPECT_FALSE(gate.IsOpen());
+  gate.CountDown();
+  EXPECT_TRUE(gate.IsOpen());
+  gate.Wait();  // must not block
+}
+
+TEST(CountdownGateTest, WaitersReleasedByLastCount) {
+  CountdownGate gate(1);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    gate.Wait();
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  gate.CountDown();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(CountdownGateTest, ZeroCountStartsOpen) {
+  CountdownGate gate(0);
+  EXPECT_TRUE(gate.IsOpen());
+  gate.Wait();
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,77 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace smptree {
+namespace {
+
+TEST(BitVectorTest, StartsCleared) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Get(i));
+  EXPECT_EQ(bits.CountOnes(), 0u);
+}
+
+TEST(BitVectorTest, SetAndClearSingleBits) {
+  BitVector bits(100);
+  bits.Set(0, true);
+  bits.Set(63, true);
+  bits.Set(64, true);
+  bits.Set(99, true);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(99));
+  EXPECT_FALSE(bits.Get(1));
+  EXPECT_EQ(bits.CountOnes(), 4u);
+  bits.Set(63, false);
+  EXPECT_FALSE(bits.Get(63));
+  EXPECT_EQ(bits.CountOnes(), 3u);
+}
+
+TEST(BitVectorTest, ClearResetsEverything) {
+  BitVector bits(77);
+  for (size_t i = 0; i < 77; i += 3) bits.Set(i, true);
+  bits.Clear();
+  EXPECT_EQ(bits.CountOnes(), 0u);
+}
+
+TEST(BitVectorTest, ResizePreservesPrefix) {
+  BitVector bits(64);
+  bits.Set(10, true);
+  bits.Set(63, true);
+  bits.Resize(256);
+  EXPECT_TRUE(bits.Get(10));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_FALSE(bits.Get(200));
+  EXPECT_EQ(bits.CountOnes(), 2u);
+}
+
+TEST(BitVectorTest, ResizeDownMasksStrayBits) {
+  BitVector bits(128);
+  for (size_t i = 0; i < 128; ++i) bits.Set(i, true);
+  bits.Resize(70);
+  EXPECT_EQ(bits.size(), 70u);
+  EXPECT_EQ(bits.CountOnes(), 70u);
+}
+
+TEST(BitVectorTest, ConcurrentSettersOnSharedWords) {
+  // Tids from different leaves can share a word; atomic RMW must not lose
+  // updates. 8 threads each own bits i where i % 8 == t.
+  const size_t n = 8000;
+  BitVector bits(n);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&bits, t] {
+      for (size_t i = t; i < n; i += 8) bits.Set(i, true);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bits.CountOnes(), n);
+}
+
+}  // namespace
+}  // namespace smptree

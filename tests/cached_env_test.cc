@@ -1,0 +1,179 @@
+#include "storage/cached_env.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/tree_io.h"
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+class CachedEnvTest : public ::testing::Test {
+ protected:
+  void Make(size_t capacity, size_t page_size = 64) {
+    base_ = Env::NewMem();
+    cached_ = std::make_unique<CachedEnv>(base_.get(), capacity, page_size);
+  }
+
+  std::unique_ptr<Env> base_;
+  std::unique_ptr<CachedEnv> cached_;
+};
+
+TEST_F(CachedEnvTest, ReadThroughAndHit) {
+  Make(1024);
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(cached_->NewFile("/f", &f).ok());
+  std::string payload(100, 'x');
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = 'a' + i % 26;
+  ASSERT_TRUE(f->Append(payload.data(), payload.size()).ok());
+
+  char buf[100];
+  ASSERT_TRUE(f->Read(0, 100, buf).ok());
+  EXPECT_EQ(std::string(buf, 100), payload);
+  const CacheStats after_first = cached_->GetStats();
+  EXPECT_GT(after_first.misses, 0u);
+
+  ASSERT_TRUE(f->Read(0, 100, buf).ok());
+  EXPECT_EQ(std::string(buf, 100), payload);
+  const CacheStats after_second = cached_->GetStats();
+  EXPECT_EQ(after_second.misses, after_first.misses);  // all hits now
+  EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+TEST_F(CachedEnvTest, SubPageAndCrossPageReads) {
+  Make(4096, /*page_size=*/16);
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(cached_->NewFile("/f", &f).ok());
+  std::string payload;
+  for (int i = 0; i < 100; ++i) payload.push_back(static_cast<char>(i));
+  ASSERT_TRUE(f->Append(payload.data(), payload.size()).ok());
+
+  char buf[100];
+  // Crosses several 16-byte pages at an odd offset.
+  ASSERT_TRUE(f->Read(7, 50, buf).ok());
+  EXPECT_EQ(std::string(buf, 50), payload.substr(7, 50));
+  // Entirely inside one page.
+  ASSERT_TRUE(f->Read(17, 10, buf).ok());
+  EXPECT_EQ(std::string(buf, 10), payload.substr(17, 10));
+}
+
+TEST_F(CachedEnvTest, ReadPastEndFails) {
+  Make(1024);
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(cached_->NewFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("abc", 3).ok());
+  char buf[8];
+  EXPECT_FALSE(f->Read(0, 8, buf).ok());
+}
+
+TEST_F(CachedEnvTest, EvictionUnderCapacity) {
+  Make(/*capacity=*/128, /*page_size=*/64);  // two pages max
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(cached_->NewFile("/f", &f).ok());
+  std::string payload(64 * 8, 'z');
+  ASSERT_TRUE(f->Append(payload.data(), payload.size()).ok());
+  char buf[64];
+  for (uint64_t page = 0; page < 8; ++page) {
+    ASSERT_TRUE(f->Read(page * 64, 64, buf).ok());
+  }
+  const CacheStats stats = cached_->GetStats();
+  EXPECT_EQ(stats.misses, 8u);
+  EXPECT_GE(stats.evictions, 6u);
+  // Re-reading the first page misses again (it was evicted).
+  ASSERT_TRUE(f->Read(0, 64, buf).ok());
+  EXPECT_EQ(cached_->GetStats().misses, 9u);
+}
+
+TEST_F(CachedEnvTest, AppendInvalidatesOnlyTailPage) {
+  Make(4096, /*page_size=*/64);
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(cached_->NewFile("/f", &f).ok());
+  std::string first(100, 'a');  // page 0 full, page 1 partial
+  ASSERT_TRUE(f->Append(first.data(), first.size()).ok());
+  char buf[160];
+  ASSERT_TRUE(f->Read(0, 100, buf).ok());  // caches pages 0 and 1
+
+  std::string more(60, 'b');
+  ASSERT_TRUE(f->Append(more.data(), more.size()).ok());
+  ASSERT_TRUE(f->Read(0, 160, buf).ok());
+  EXPECT_EQ(std::string(buf, 100), first);
+  EXPECT_EQ(std::string(buf + 100, 60), more);
+}
+
+TEST_F(CachedEnvTest, TruncateInvalidatesAllPages) {
+  Make(4096, /*page_size=*/64);
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(cached_->NewFile("/f", &f).ok());
+  std::string old_content(128, 'o');
+  ASSERT_TRUE(f->Append(old_content.data(), old_content.size()).ok());
+  char buf[128];
+  ASSERT_TRUE(f->Read(0, 128, buf).ok());
+
+  ASSERT_TRUE(f->Truncate().ok());
+  std::string new_content(128, 'n');
+  ASSERT_TRUE(f->Append(new_content.data(), new_content.size()).ok());
+  ASSERT_TRUE(f->Read(0, 128, buf).ok());
+  EXPECT_EQ(std::string(buf, 128), new_content);  // no stale 'o' bytes
+}
+
+TEST_F(CachedEnvTest, ReadViewNotSupported) {
+  Make(1024);
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(cached_->NewFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("data", 4).ok());
+  const char* view = nullptr;
+  EXPECT_TRUE(f->ReadView(0, 4, &view).IsNotSupported());
+}
+
+TEST_F(CachedEnvTest, DistinctFilesDoNotCollide) {
+  Make(4096, 64);
+  std::unique_ptr<File> a;
+  std::unique_ptr<File> b;
+  ASSERT_TRUE(cached_->NewFile("/a", &a).ok());
+  ASSERT_TRUE(cached_->NewFile("/b", &b).ok());
+  ASSERT_TRUE(a->Append("AAAA", 4).ok());
+  ASSERT_TRUE(b->Append("BBBB", 4).ok());
+  char buf[4];
+  ASSERT_TRUE(a->Read(0, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "AAAA");
+  ASSERT_TRUE(b->Read(0, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "BBBB");
+}
+
+// End-to-end: training through a tiny cache must produce the identical
+// tree (only slower), for a sample of algorithms.
+TEST(CachedEnvTrainingTest, TinyCacheMatchesUncached) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_tuples = 1500;
+  cfg.num_attrs = 12;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+
+  auto base = Env::NewMem();
+  // 16 KB cache vs ~200 KB of attribute lists: heavy eviction.
+  CachedEnv cached(base.get(), 16 << 10, 4 << 10);
+  for (Algorithm algorithm : {Algorithm::kSerial, Algorithm::kMwk,
+                              Algorithm::kSubtree}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = algorithm == Algorithm::kSerial ? 1 : 3;
+    options.build.env = &cached;
+    auto actual = TrainClassifier(*data, options);
+    ASSERT_TRUE(actual.ok()) << AlgorithmName(algorithm) << ": "
+                             << actual.status().ToString();
+    EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+        << AlgorithmName(algorithm);
+  }
+  const CacheStats stats = cached.GetStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace smptree

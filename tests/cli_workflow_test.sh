@@ -1,0 +1,72 @@
+#!/bin/sh
+# End-to-end test of the smptree_cli binary: gen -> train -> eval -> show,
+# for both the two-class and the multiclass generators, plus failure modes.
+# Invoked by ctest with the CLI path as $1.
+set -e
+
+CLI="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# --- happy path: two-class ---
+"$CLI" gen --function 5 --attrs 10 --tuples 2000 \
+  --out "$DIR/data.csv" --schema-out "$DIR/schema.txt" \
+  || fail "gen"
+[ -s "$DIR/data.csv" ] || fail "gen produced no data"
+[ -s "$DIR/schema.txt" ] || fail "gen produced no schema"
+
+"$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --algorithm subtree --subroutine mwk --threads 3 --window 2 \
+  --model "$DIR/model.tree" > "$DIR/train.out" || fail "train"
+grep -q "training accuracy 1.0000" "$DIR/train.out" \
+  || fail "clean data must fit exactly"
+
+"$CLI" eval --schema "$DIR/schema.txt" --model "$DIR/model.tree" \
+  --data "$DIR/data.csv" > "$DIR/eval.out" || fail "eval"
+grep -q "accuracy: 1.0000" "$DIR/eval.out" || fail "eval accuracy"
+
+"$CLI" show --schema "$DIR/schema.txt" --model "$DIR/model.tree" \
+  --format text | grep -q "leaf:" || fail "show text"
+"$CLI" show --schema "$DIR/schema.txt" --model "$DIR/model.tree" \
+  --format sql | grep -q "CASE" || fail "show sql"
+"$CLI" show --schema "$DIR/schema.txt" --model "$DIR/model.tree" \
+  --format dot | grep -q "digraph" || fail "show dot"
+
+# --- happy path: multiclass with pruning on noisy labels ---
+"$CLI" gen --classes 4 --tuples 1500 --noise 0.05 \
+  --out "$DIR/mc.csv" --schema-out "$DIR/mc_schema.txt" || fail "gen mc"
+"$CLI" train --schema "$DIR/mc_schema.txt" --data "$DIR/mc.csv" \
+  --algorithm mwk --threads 2 --prune cost --model "$DIR/mc.tree" \
+  > "$DIR/mc_train.out" || fail "train mc"
+grep -q "pruned" "$DIR/mc_train.out" || fail "train mc output"
+"$CLI" eval --schema "$DIR/mc_schema.txt" --model "$DIR/mc.tree" \
+  --data "$DIR/mc.csv" | grep -q "band 3" || fail "eval mc classes"
+
+# --- failure modes must exit non-zero with a message ---
+if "$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --algorithm warp9 --model "$DIR/x.tree" 2> "$DIR/err.out"; then
+  fail "bad algorithm accepted"
+fi
+grep -q "unknown algorithm" "$DIR/err.out" || fail "bad algorithm message"
+
+if "$CLI" eval --schema "$DIR/schema.txt" --model "$DIR/missing.tree" \
+  --data "$DIR/data.csv" 2> /dev/null; then
+  fail "missing model accepted"
+fi
+
+if "$CLI" frobnicate 2> /dev/null; then
+  fail "unknown command accepted"
+fi
+
+# schema/data mismatch is a parse error, not a crash
+if "$CLI" eval --schema "$DIR/mc_schema.txt" --model "$DIR/model.tree" \
+  --data "$DIR/data.csv" 2> /dev/null; then
+  fail "mismatched schema accepted"
+fi
+
+echo "cli workflow OK"

@@ -1,0 +1,124 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Schema SmallSchema() {
+  Schema s;
+  s.AddContinuous("age");
+  s.AddCategorical("car", 3, {"sedan", "sports", "truck"});
+  s.SetClassNames({"yes", "no"});
+  return s;
+}
+
+Dataset SmallData() {
+  Dataset d(SmallSchema());
+  TupleValues v(2);
+  v[0].f = 23.5f;
+  v[1].cat = 1;
+  EXPECT_TRUE(d.Append(v, 0).ok());
+  v[0].f = 68.0f;
+  v[1].cat = 2;
+  EXPECT_TRUE(d.Append(v, 1).ok());
+  return d;
+}
+
+TEST(CsvTest, EmitsHeaderAndNames) {
+  const std::string csv = ToCsvString(SmallData());
+  EXPECT_NE(csv.find("age,car,class"), std::string::npos);
+  EXPECT_NE(csv.find("sports"), std::string::npos);
+  EXPECT_NE(csv.find("yes"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTrip) {
+  const Dataset original = SmallData();
+  auto parsed = FromCsvString(SmallSchema(), ToCsvString(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_tuples(), original.num_tuples());
+  for (int64_t t = 0; t < original.num_tuples(); ++t) {
+    EXPECT_EQ(parsed->value(t, 0).f, original.value(t, 0).f);
+    EXPECT_EQ(parsed->value(t, 1).cat, original.value(t, 1).cat);
+    EXPECT_EQ(parsed->label(t), original.label(t));
+  }
+}
+
+TEST(CsvTest, RoundTripSyntheticSample) {
+  SyntheticConfig cfg;
+  cfg.function = 3;
+  cfg.num_tuples = 50;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  auto parsed = FromCsvString(data->schema(), ToCsvString(*data));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_tuples(), 50);
+  for (int64_t t = 0; t < 50; ++t) {
+    EXPECT_EQ(parsed->label(t), data->label(t));
+  }
+}
+
+TEST(CsvTest, AcceptsNumericCodesWithoutNames) {
+  Schema s;
+  s.AddCategorical("c", 4);  // no value names
+  s.SetClassNames({"A", "B"});
+  auto parsed = FromCsvString(s, "c,class\n2,B\n0,A\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->value(0, 0).cat, 2);
+  EXPECT_EQ(parsed->label(1), 0);
+}
+
+TEST(CsvTest, AcceptsNumericClassLabels) {
+  auto parsed = FromCsvString(SmallSchema(), "age,car,class\n5,0,1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->label(0), 1);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto parsed =
+      FromCsvString(SmallSchema(), "age,car,class\n\n5,sedan,yes\n\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_tuples(), 1);
+}
+
+TEST(CsvTest, RejectsBadHeader) {
+  EXPECT_TRUE(FromCsvString(SmallSchema(), "wrong,car,class\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(FromCsvString(SmallSchema(), "age,class\n").status().IsCorruption());
+}
+
+TEST(CsvTest, RejectsBadValues) {
+  EXPECT_TRUE(FromCsvString(SmallSchema(), "age,car,class\nxx,sedan,yes\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(FromCsvString(SmallSchema(), "age,car,class\n5,helicopter,yes\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(FromCsvString(SmallSchema(), "age,car,class\n5,sedan,maybe\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(FromCsvString(SmallSchema(), "age,car,class\n5,sedan\n")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_TRUE(FromCsvString(SmallSchema(), "").status().IsCorruption());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path =
+      "/tmp/smptree_csv_test_" + std::to_string(::getpid()) + ".csv";
+  const Dataset original = SmallData();
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  auto parsed = ReadCsv(SmallSchema(), path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_tuples(), original.num_tuples());
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace smptree

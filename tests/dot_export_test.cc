@@ -1,0 +1,108 @@
+#include "core/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Schema CarSchema() {
+  Schema s;
+  s.AddContinuous("age");
+  s.AddCategorical("car", 3, {"family", "sports", "truck"});
+  s.SetClassNames({"high", "low"});
+  return s;
+}
+
+ClassHistogram Hist(int64_t a, int64_t b) {
+  ClassHistogram h(2);
+  h.Add(0, a);
+  h.Add(1, b);
+  return h;
+}
+
+DecisionTree SmallTree() {
+  DecisionTree tree(CarSchema());
+  const NodeId root = tree.CreateRoot(Hist(3, 3));
+  SplitTest t;
+  t.attr = 0;
+  t.threshold = 27.5f;
+  tree.SetSplit(root, t);
+  tree.AddChild(root, true, Hist(3, 0));
+  tree.AddChild(root, false, Hist(0, 3));
+  return tree;
+}
+
+TEST(DotExportTest, ContainsNodesAndEdges) {
+  const std::string dot = TreeToDot(SmallTree());
+  EXPECT_NE(dot.find("digraph decision_tree {"), std::string::npos);
+  EXPECT_NE(dot.find("age < 27.5"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1 [label=\"yes\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2 [label=\"no\"]"), std::string::npos);
+  EXPECT_NE(dot.find("high\\n[3, 0]"), std::string::npos);
+  EXPECT_NE(dot.find("low\\n[0, 3]"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExportTest, OptionsRespected) {
+  DotOptions options;
+  options.graph_name = "model";
+  options.show_counts = false;
+  options.left_to_right = true;
+  const std::string dot = TreeToDot(SmallTree(), options);
+  EXPECT_NE(dot.find("digraph model {"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_EQ(dot.find("[3, 0]"), std::string::npos);
+}
+
+TEST(DotExportTest, SingleLeaf) {
+  DecisionTree tree(CarSchema());
+  tree.CreateRoot(Hist(0, 7));
+  const std::string dot = TreeToDot(tree);
+  EXPECT_NE(dot.find("low"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);  // no edges
+}
+
+TEST(DotExportTest, EscapesQuotesInLabels) {
+  Schema s;
+  s.AddCategorical("q", 2, {"say \"hi\"", "other"});
+  s.SetClassNames({"a", "b"});
+  DecisionTree tree(s);
+  ClassHistogram h(2);
+  h.Add(0, 1);
+  h.Add(1, 1);
+  const NodeId root = tree.CreateRoot(h);
+  SplitTest t;
+  t.attr = 0;
+  t.categorical = true;
+  t.subset = 1;
+  tree.SetSplit(root, t);
+  tree.AddChild(root, true, Hist(1, 0));
+  tree.AddChild(root, false, Hist(0, 1));
+  const std::string dot = TreeToDot(tree);
+  EXPECT_NE(dot.find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(DotExportTest, TrainedTreeNodeCountMatches) {
+  SyntheticConfig cfg;
+  cfg.function = 2;
+  cfg.num_tuples = 1000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  auto result = TrainClassifier(*data, options);
+  ASSERT_TRUE(result.ok());
+  const std::string dot = TreeToDot(*result->tree);
+  // One "nK [" declaration per node.
+  int64_t decls = 0;
+  for (size_t pos = dot.find(" [shape="); pos != std::string::npos;
+       pos = dot.find(" [shape=", pos + 1)) {
+    ++decls;
+  }
+  EXPECT_EQ(decls, result->tree->num_nodes());
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,165 @@
+// Env contract tests run against both implementations (the paper's two
+// machine configurations) through a parameterized suite.
+
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+namespace smptree {
+namespace {
+
+enum class EnvKind { kMem, kPosix };
+
+class EnvTest : public ::testing::TestWithParam<EnvKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == EnvKind::kPosix) {
+      env_ = Env::Posix();
+      dir_ = std::filesystem::temp_directory_path() /
+             ("smptree_env_test_" + std::to_string(::getpid()));
+      ASSERT_TRUE(env_->CreateDir(dir_.string()).ok());
+    } else {
+      owned_ = Env::NewMem();
+      env_ = owned_.get();
+      dir_ = "/testdir";
+    }
+  }
+
+  void TearDown() override {
+    if (env_ != nullptr) env_->RemoveDirRecursive(dir_.string());
+  }
+
+  std::string Path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  Env* env_ = nullptr;
+  std::unique_ptr<Env> owned_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(EnvTest, NewFileStartsEmpty) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("a"), &f).ok());
+  EXPECT_EQ(f->Size(), 0u);
+}
+
+TEST_P(EnvTest, AppendThenReadBack) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("a"), &f).ok());
+  const std::string payload = "hello attribute lists";
+  ASSERT_TRUE(f->Append(payload.data(), payload.size()).ok());
+  EXPECT_EQ(f->Size(), payload.size());
+
+  std::string out(payload.size(), '\0');
+  ASSERT_TRUE(f->Read(0, payload.size(), out.data()).ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST_P(EnvTest, PositionalRead) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("a"), &f).ok());
+  ASSERT_TRUE(f->Append("0123456789", 10).ok());
+  char buf[4];
+  ASSERT_TRUE(f->Read(3, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "3456");
+}
+
+TEST_P(EnvTest, ShortReadFails) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("a"), &f).ok());
+  ASSERT_TRUE(f->Append("abc", 3).ok());
+  char buf[8];
+  EXPECT_FALSE(f->Read(0, 8, buf).ok());
+  EXPECT_FALSE(f->Read(5, 1, buf).ok());
+}
+
+TEST_P(EnvTest, TruncateEmptiesAndAllowsReuse) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("a"), &f).ok());
+  ASSERT_TRUE(f->Append("abcdef", 6).ok());
+  ASSERT_TRUE(f->Truncate().ok());
+  EXPECT_EQ(f->Size(), 0u);
+  ASSERT_TRUE(f->Append("xy", 2).ok());
+  char buf[2];
+  ASSERT_TRUE(f->Read(0, 2, buf).ok());
+  EXPECT_EQ(std::string(buf, 2), "xy");
+}
+
+TEST_P(EnvTest, MultipleAppendsAccumulate) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("a"), &f).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f->Append("ab", 2).ok());
+  }
+  EXPECT_EQ(f->Size(), 200u);
+  char buf[2];
+  ASSERT_TRUE(f->Read(198, 2, buf).ok());
+  EXPECT_EQ(std::string(buf, 2), "ab");
+}
+
+TEST_P(EnvTest, FileExistsAndDelete) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("victim"), &f).ok());
+  EXPECT_TRUE(env_->FileExists(Path("victim")));
+  EXPECT_TRUE(env_->DeleteFile(Path("victim")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("victim")));
+  EXPECT_TRUE(env_->DeleteFile(Path("victim")).IsNotFound());
+}
+
+TEST_P(EnvTest, RemoveDirRecursiveDropsFiles) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("x"), &f).ok());
+  f.reset();
+  ASSERT_TRUE(env_->RemoveDirRecursive(dir_.string()).ok());
+  EXPECT_FALSE(env_->FileExists(Path("x")));
+  // Re-create for TearDown symmetry.
+  ASSERT_TRUE(env_->CreateDir(dir_.string()).ok());
+}
+
+TEST_P(EnvTest, ReadViewContract) {
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_->NewFile(Path("a"), &f).ok());
+  ASSERT_TRUE(f->Append("viewdata", 8).ok());
+  const char* view = nullptr;
+  Status s = f->ReadView(2, 4, &view);
+  if (GetParam() == EnvKind::kMem) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(std::string(view, 4), "ewda");
+  } else {
+    EXPECT_TRUE(s.IsNotSupported());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvTest,
+                         ::testing::Values(EnvKind::kMem, EnvKind::kPosix),
+                         [](const auto& info) {
+                           return info.param == EnvKind::kMem ? "Mem" : "Posix";
+                         });
+
+TEST(MemEnvTest, InstancesAreIsolated) {
+  auto a = Env::NewMem();
+  auto b = Env::NewMem();
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(a->NewFile("/shared/name", &f).ok());
+  EXPECT_TRUE(a->FileExists("/shared/name"));
+  EXPECT_FALSE(b->FileExists("/shared/name"));
+}
+
+TEST(MemEnvTest, NewFileTruncatesExisting) {
+  auto env = Env::NewMem();
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env->NewFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("data", 4).ok());
+  std::unique_ptr<File> g;
+  ASSERT_TRUE(env->NewFile("/f", &g).ok());
+  EXPECT_EQ(g->Size(), 0u);
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,505 @@
+// The central correctness property of the paper's algorithms: every SMP
+// scheme must produce EXACTLY the tree serial SPRINT produces -- same splits,
+// same thresholds, same leaf distributions -- for any data, thread count,
+// window size, and storage environment. Deterministic tie-breaking in the
+// split comparison makes bit-exact equality achievable, so these tests use
+// TreesEqual rather than accuracy proxies.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/classifier.h"
+#include "core/metrics.h"
+#include "core/tree_io.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace smptree {
+namespace {
+
+struct EquivCase {
+  Algorithm algorithm;
+  int threads;
+  int window;
+  int function;
+  bool posix_env;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<EquivCase>& info) {
+  const EquivCase& c = info.param;
+  std::string name = AlgorithmName(c.algorithm);
+  name += "_p" + std::to_string(c.threads);
+  name += "_k" + std::to_string(c.window);
+  name += "_f" + std::to_string(c.function);
+  name += c.posix_env ? "_posix" : "_mem";
+  return name;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(EquivalenceTest, ParallelTreeEqualsSerialTree) {
+  const EquivCase& c = GetParam();
+  SyntheticConfig cfg;
+  cfg.function = c.function;
+  cfg.num_tuples = 1200;
+  cfg.num_attrs = 12;
+  cfg.seed = 10007 * c.function;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions serial;
+  serial.build.algorithm = Algorithm::kSerial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  ClassifierOptions parallel;
+  parallel.build.algorithm = c.algorithm;
+  parallel.build.num_threads = c.threads;
+  parallel.build.window = c.window;
+  if (c.posix_env) parallel.build.env = Env::Posix();
+  auto actual = TrainClassifier(*data, parallel);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+
+  EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+      << "serial:\n"
+      << expected->tree->ToString() << "\nparallel:\n"
+      << actual->tree->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasicScheme, EquivalenceTest,
+    ::testing::Values(EquivCase{Algorithm::kBasic, 1, 4, 1, false},
+                      EquivCase{Algorithm::kBasic, 2, 4, 1, false},
+                      EquivCase{Algorithm::kBasic, 4, 4, 2, false},
+                      EquivCase{Algorithm::kBasic, 4, 4, 7, false},
+                      EquivCase{Algorithm::kBasic, 8, 4, 7, false},
+                      EquivCase{Algorithm::kBasic, 4, 4, 3, true}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    FwkScheme, EquivalenceTest,
+    ::testing::Values(EquivCase{Algorithm::kFwk, 2, 1, 1, false},
+                      EquivCase{Algorithm::kFwk, 2, 2, 2, false},
+                      EquivCase{Algorithm::kFwk, 4, 4, 7, false},
+                      EquivCase{Algorithm::kFwk, 4, 8, 7, false},
+                      EquivCase{Algorithm::kFwk, 8, 4, 6, false},
+                      EquivCase{Algorithm::kFwk, 4, 4, 5, true}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    MwkScheme, EquivalenceTest,
+    ::testing::Values(EquivCase{Algorithm::kMwk, 2, 1, 1, false},
+                      EquivCase{Algorithm::kMwk, 2, 2, 2, false},
+                      EquivCase{Algorithm::kMwk, 4, 4, 7, false},
+                      EquivCase{Algorithm::kMwk, 4, 16, 7, false},
+                      EquivCase{Algorithm::kMwk, 8, 4, 9, false},
+                      EquivCase{Algorithm::kMwk, 4, 4, 10, true}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    SubtreeScheme, EquivalenceTest,
+    ::testing::Values(EquivCase{Algorithm::kSubtree, 1, 4, 7, false},
+                      EquivCase{Algorithm::kSubtree, 2, 4, 1, false},
+                      EquivCase{Algorithm::kSubtree, 4, 4, 2, false},
+                      EquivCase{Algorithm::kSubtree, 4, 4, 7, false},
+                      EquivCase{Algorithm::kSubtree, 8, 4, 7, false},
+                      EquivCase{Algorithm::kSubtree, 3, 4, 9, false},
+                      EquivCase{Algorithm::kSubtree, 4, 4, 4, true}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    RecordParallelScheme, EquivalenceTest,
+    ::testing::Values(EquivCase{Algorithm::kRecordParallel, 2, 4, 1, false},
+                      EquivCase{Algorithm::kRecordParallel, 4, 4, 2, false},
+                      EquivCase{Algorithm::kRecordParallel, 4, 4, 7, false}),
+    CaseName);
+
+// Sweep across every synthetic function with a fixed parallel setup: the
+// algorithms must agree on all ten data models.
+class FunctionSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FunctionSweepTest, AllAlgorithmsAgree) {
+  SyntheticConfig cfg;
+  cfg.function = GetParam();
+  cfg.num_tuples = 800;
+  cfg.seed = 31 * GetParam();
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+
+  for (Algorithm algorithm :
+       {Algorithm::kBasic, Algorithm::kFwk, Algorithm::kMwk,
+        Algorithm::kSubtree}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = 4;
+    options.build.window = 4;
+    auto actual = TrainClassifier(*data, options);
+    ASSERT_TRUE(actual.ok())
+        << AlgorithmName(algorithm) << ": " << actual.status().ToString();
+    EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+        << AlgorithmName(algorithm) << " diverged on function " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, FunctionSweepTest,
+                         ::testing::Range(1, 11));
+
+// The SUBTREE hybrid (paper section 3.4: MWK as the per-group subroutine)
+// must also match serial SPRINT for any thread count and window.
+class SubtreeHybridTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SubtreeHybridTest, MwkSubroutineMatchesSerial) {
+  const auto [threads, window, function] = GetParam();
+  SyntheticConfig cfg;
+  cfg.function = function;
+  cfg.num_tuples = 1000;
+  cfg.num_attrs = 12;
+  cfg.seed = 555 * function;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+
+  ClassifierOptions hybrid;
+  hybrid.build.algorithm = Algorithm::kSubtree;
+  hybrid.build.subtree_subroutine = Algorithm::kMwk;
+  hybrid.build.num_threads = threads;
+  hybrid.build.window = window;
+  auto actual = TrainClassifier(*data, hybrid);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hybrid, SubtreeHybridTest,
+    ::testing::Values(std::make_tuple(1, 4, 7), std::make_tuple(2, 2, 7),
+                      std::make_tuple(4, 4, 7), std::make_tuple(4, 1, 2),
+                      std::make_tuple(8, 4, 9), std::make_tuple(3, 8, 1)));
+
+TEST(SubtreeHybridTest, RejectsInvalidSubroutine) {
+  SyntheticConfig cfg;
+  cfg.num_tuples = 50;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  options.build.subtree_subroutine = Algorithm::kFwk;  // not supported
+  EXPECT_TRUE(TrainClassifier(*data, options).status().IsInvalidArgument());
+}
+
+// Regression: window K=1 puts both children of a leaf into the SAME slot
+// file, which once interleaved their records; segments must stay contiguous
+// for any K and thread count (F7 grows wide levels that exercise this).
+TEST(WindowOneRegressionTest, SharedSlotSegmentsStayContiguous) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_attrs = 16;
+  cfg.num_tuples = 2500;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+  for (Algorithm algorithm : {Algorithm::kFwk, Algorithm::kMwk}) {
+    for (int threads : {1, 4}) {
+      ClassifierOptions options;
+      options.build.algorithm = algorithm;
+      options.build.num_threads = threads;
+      options.build.window = 1;
+      auto actual = TrainClassifier(*data, options);
+      ASSERT_TRUE(actual.ok()) << AlgorithmName(algorithm) << " P=" << threads
+                               << ": " << actual.status().ToString();
+      EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+          << AlgorithmName(algorithm) << " P=" << threads;
+    }
+  }
+}
+
+// The no-relabel ablation (paper Figure 5 "simple scheme") changes only the
+// slot layout, never the tree.
+TEST(RelabelAblationTest, SimpleSchemeProducesSameTree) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_attrs = 12;
+  cfg.num_tuples = 2000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+  for (Algorithm algorithm :
+       {Algorithm::kSerial, Algorithm::kMwk, Algorithm::kFwk}) {
+    for (int window : {1, 2, 4}) {
+      ClassifierOptions options;
+      options.build.algorithm = algorithm;
+      options.build.num_threads = algorithm == Algorithm::kSerial ? 1 : 4;
+      options.build.window = window;
+      options.build.relabel_children = false;
+      auto actual = TrainClassifier(*data, options);
+      ASSERT_TRUE(actual.ok())
+          << AlgorithmName(algorithm) << " K=" << window << ": "
+          << actual.status().ToString();
+      EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+          << AlgorithmName(algorithm) << " K=" << window;
+    }
+  }
+}
+
+// Repeated runs with the same inputs must give identical trees (no
+// scheduling-order dependence leaks into the result).
+TEST(DeterminismTest, ParallelBuildsAreReproducible) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_tuples = 1500;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions options;
+  options.build.algorithm = Algorithm::kMwk;
+  options.build.num_threads = 4;
+  std::string first;
+  for (int run = 0; run < 3; ++run) {
+    auto result = TrainClassifier(*data, options);
+    ASSERT_TRUE(result.ok());
+    const std::string text = SerializeTree(*result->tree);
+    if (run == 0) {
+      first = text;
+    } else {
+      EXPECT_EQ(text, first) << "run " << run;
+    }
+  }
+}
+
+TEST(DeterminismTest, SubtreeBuildsAreReproducible) {
+  SyntheticConfig cfg;
+  cfg.function = 9;
+  cfg.num_tuples = 1500;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions options;
+  options.build.algorithm = Algorithm::kSubtree;
+  options.build.num_threads = 4;
+  std::string first;
+  for (int run = 0; run < 3; ++run) {
+    auto result = TrainClassifier(*data, options);
+    ASSERT_TRUE(result.ok());
+    const std::string text = SerializeTree(*result->tree);
+    if (run == 0) {
+      first = text;
+    } else {
+      EXPECT_EQ(text, first) << "run " << run;
+    }
+  }
+}
+
+// Threads beyond the leaf/attribute supply must not wedge or diverge.
+TEST(OversubscriptionTest, MoreThreadsThanWork) {
+  SyntheticConfig cfg;
+  cfg.function = 1;  // tiny tree, few leaves
+  cfg.num_tuples = 300;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+  for (Algorithm algorithm :
+       {Algorithm::kBasic, Algorithm::kFwk, Algorithm::kMwk,
+        Algorithm::kSubtree}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = 16;
+    auto actual = TrainClassifier(*data, options);
+    ASSERT_TRUE(actual.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+        << AlgorithmName(algorithm);
+  }
+}
+
+// The entropy criterion (extension) must behave like gini operationally:
+// parallel builds match serial builds, clean functions train to purity.
+TEST(EntropyCriterionTest, ParallelMatchesSerialAndFitsCleanData) {
+  SyntheticConfig cfg;
+  cfg.function = 4;
+  cfg.num_tuples = 1200;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions serial;
+  serial.build.gini.criterion = SplitCriterion::kEntropy;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+  // Trains to purity just like gini on noise-free functions.
+  ClassHistogram root(data->num_classes());
+  EXPECT_EQ(expected->tree->Validate().ToString(), "OK");
+
+  for (Algorithm algorithm :
+       {Algorithm::kBasic, Algorithm::kMwk, Algorithm::kSubtree}) {
+    ClassifierOptions options;
+    options.build.gini.criterion = SplitCriterion::kEntropy;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = 4;
+    auto actual = TrainClassifier(*data, options);
+    ASSERT_TRUE(actual.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EntropyCriterionTest, CanPickDifferentTreesThanGini) {
+  // Not a hard guarantee on every dataset, but on a mixed workload the two
+  // criteria usually diverge somewhere; verify both are valid and exact.
+  SyntheticConfig cfg;
+  cfg.function = 5;
+  cfg.num_tuples = 3000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions gini;
+  ClassifierOptions entropy;
+  entropy.build.gini.criterion = SplitCriterion::kEntropy;
+  auto a = TrainClassifier(*data, gini);
+  auto b = TrainClassifier(*data, entropy);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->tree->Validate().ok());
+  EXPECT_TRUE(b->tree->Validate().ok());
+  EXPECT_DOUBLE_EQ(TreeAccuracy(*a->tree, *data), 1.0);
+  EXPECT_DOUBLE_EQ(TreeAccuracy(*b->tree, *data), 1.0);
+}
+
+// Every trained tree must pass the structural validator.
+TEST(TreeValidationTest, AllAlgorithmsProduceValidTrees) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_tuples = 800;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  for (Algorithm algorithm :
+       {Algorithm::kSerial, Algorithm::kBasic, Algorithm::kFwk,
+        Algorithm::kMwk, Algorithm::kSubtree, Algorithm::kRecordParallel}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = algorithm == Algorithm::kSerial ? 1 : 4;
+    auto result = TrainClassifier(*data, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(result->tree->Validate().ok())
+        << AlgorithmName(algorithm) << ": "
+        << result->tree->Validate().ToString();
+  }
+  // Pruned trees stay valid too.
+  ClassifierOptions pruned;
+  pruned.prune.method = PruneOptions::Method::kCostComplexity;
+  auto result = TrainClassifier(*data, pruned);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tree->Validate().ok());
+}
+
+// Large-cardinality categorical domains (BigSubset tests) must flow through
+// every algorithm, the probe, the splits, and serialization identically.
+TEST(LargeCardinalityEquivalenceTest, AllAlgorithmsAgree) {
+  Schema s;
+  s.AddCategorical("sku", 150);
+  s.AddContinuous("price");
+  s.AddCategorical("store", 30);
+  s.SetClassNames({"buy", "skip"});
+  Dataset data(s);
+  smptree::Random rng(77);
+  TupleValues v(3);
+  for (int i = 0; i < 1500; ++i) {
+    v[0].cat = static_cast<int32_t>(rng.Uniform(150));
+    v[1].f = static_cast<float>(rng.UniformDouble(0, 100));
+    v[2].cat = static_cast<int32_t>(rng.Uniform(30));
+    // Label depends on sku bucket and price, with some noise.
+    const bool buy =
+        (v[0].cat % 3 == 0 && v[1].f < 60) || (v[0].cat % 7 == 0);
+    ASSERT_TRUE(
+        data.Append(v, buy != rng.Bernoulli(0.05) ? 0 : 1).ok());
+  }
+
+  ClassifierOptions serial;
+  serial.build.min_split = 10;
+  auto expected = TrainClassifier(data, serial);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  // The tree must contain at least one BigSubset split for this test to
+  // mean anything.
+  bool saw_big = false;
+  for (NodeId id = 0; id < expected->tree->num_nodes(); ++id) {
+    if (expected->tree->node(id).split.big_subset != nullptr) saw_big = true;
+  }
+  EXPECT_TRUE(saw_big);
+
+  for (Algorithm algorithm :
+       {Algorithm::kBasic, Algorithm::kFwk, Algorithm::kMwk,
+        Algorithm::kSubtree}) {
+    ClassifierOptions options;
+    options.build = serial.build;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = 4;
+    auto actual = TrainClassifier(data, options);
+    ASSERT_TRUE(actual.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+        << AlgorithmName(algorithm);
+  }
+
+  // Serialization round trip preserves BigSubset splits bit-exactly.
+  auto parsed =
+      DeserializeTree(data.schema(), SerializeTree(*expected->tree));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreesEqual(*expected->tree, *parsed));
+}
+
+// Tiny datasets: the root may be unsplittable or the tree trivially small.
+TEST(EdgeCaseTest, TwoTupleDataset) {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"A", "B"});
+  Dataset data(s);
+  TupleValues v(1);
+  v[0].f = 1.0f;
+  ASSERT_TRUE(data.Append(v, 0).ok());
+  v[0].f = 2.0f;
+  ASSERT_TRUE(data.Append(v, 1).ok());
+  for (Algorithm algorithm :
+       {Algorithm::kSerial, Algorithm::kBasic, Algorithm::kFwk,
+        Algorithm::kMwk, Algorithm::kSubtree}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = algorithm == Algorithm::kSerial ? 1 : 4;
+    auto result = TrainClassifier(data, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result->tree->num_nodes(), 3) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EdgeCaseTest, PureDatasetAllAlgorithms) {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"A", "B"});
+  Dataset data(s);
+  TupleValues v(1);
+  for (int i = 0; i < 20; ++i) {
+    v[0].f = static_cast<float>(i);
+    ASSERT_TRUE(data.Append(v, 1).ok());
+  }
+  for (Algorithm algorithm :
+       {Algorithm::kBasic, Algorithm::kFwk, Algorithm::kMwk,
+        Algorithm::kSubtree, Algorithm::kRecordParallel}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = 4;
+    auto result = TrainClassifier(data, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result->tree->num_nodes(), 1) << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace smptree

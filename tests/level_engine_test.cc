@@ -1,0 +1,123 @@
+#include "parallel/level_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace smptree {
+namespace {
+
+TEST(ErrorSinkTest, FirstErrorWins) {
+  ErrorSink sink;
+  EXPECT_FALSE(sink.aborted());
+  EXPECT_TRUE(sink.status().ok());
+  sink.Record(Status::OK());  // ignored
+  EXPECT_FALSE(sink.aborted());
+  sink.Record(Status::IOError("first"));
+  sink.Record(Status::Corruption("second"));
+  EXPECT_TRUE(sink.aborted());
+  EXPECT_TRUE(sink.status().IsIOError());
+  EXPECT_EQ(sink.status().message(), "first");
+}
+
+TEST(ErrorSinkTest, ConcurrentRecordsKeepExactlyOne) {
+  ErrorSink sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&sink, t] {
+      sink.Record(Status::Aborted("thread " + std::to_string(t)));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(sink.aborted());
+  EXPECT_TRUE(sink.status().IsAborted());
+}
+
+TEST(RunThreadTeamTest, AllThreadsRun) {
+  ErrorSink sink;
+  std::atomic<int> ran{0};
+  std::atomic<uint32_t> tid_mask{0};
+  Status s = RunThreadTeam(5, &sink, [&](int tid) {
+    ran.fetch_add(1);
+    tid_mask.fetch_or(1u << tid);
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(tid_mask.load(), 0b11111u);
+}
+
+TEST(RunThreadTeamTest, ReturnsSinkVerdict) {
+  ErrorSink sink;
+  Status s = RunThreadTeam(3, &sink, [&](int tid) {
+    if (tid == 2) sink.Record(Status::Internal("boom"));
+  });
+  EXPECT_TRUE(s.IsInternal());
+}
+
+TEST(RunThreadTeamTest, SingleThreadRunsInline) {
+  ErrorSink sink;
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  Status s = RunThreadTeam(1, &sink, [&](int) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(seen == caller);
+}
+
+TEST(TimedBarrierWaitTest, AccountsWaits) {
+  BuildCounters counters;
+  Barrier barrier(4);
+  std::atomic<int> serials{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < 10; ++p) {
+        if (TimedBarrierWait(&barrier, &counters)) serials.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counters.barrier_waits.load(), 40u);
+  EXPECT_EQ(serials.load(), 10);
+}
+
+TEST(DynamicSchedulerTest, HandsOutEachIndexOnce) {
+  DynamicScheduler sched;
+  sched.Reset(1000);
+  std::vector<std::atomic<int>> taken(1000);
+  for (auto& t : taken) t.store(0);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&] {
+      for (int64_t i = sched.Next(); i >= 0; i = sched.Next()) {
+        taken[i].fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(taken[i].load(), 1) << i;
+  }
+  EXPECT_EQ(sched.Next(), -1);
+}
+
+TEST(DynamicSchedulerTest, ResetRearms) {
+  DynamicScheduler sched;
+  sched.Reset(2);
+  EXPECT_EQ(sched.Next(), 0);
+  EXPECT_EQ(sched.Next(), 1);
+  EXPECT_EQ(sched.Next(), -1);
+  sched.Reset(1);
+  EXPECT_EQ(sched.Next(), 0);
+  EXPECT_EQ(sched.Next(), -1);
+  sched.Reset(0);
+  EXPECT_EQ(sched.Next(), -1);
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,158 @@
+#include "storage/level_storage.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smptree {
+namespace {
+
+AttrRecord MakeRec(float v, Tid tid, ClassLabel label) {
+  AttrRecord r;
+  r.value.f = v;
+  r.tid = tid;
+  r.label = label;
+  r.unused = 0;
+  return r;
+}
+
+std::vector<AttrRecord> MakeRun(int n, int base_tid) {
+  std::vector<AttrRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    recs.push_back(MakeRec(static_cast<float>(base_tid + i), base_tid + i, 0));
+  }
+  return recs;
+}
+
+class LevelStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::NewMem();
+    ASSERT_TRUE(LevelStorage::Create(env_.get(), "/scratch", "attr",
+                                     /*num_attrs=*/3, /*num_slots=*/2,
+                                     &storage_)
+                    .ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<LevelStorage> storage_;
+};
+
+TEST_F(LevelStorageTest, RootLoadAndRead) {
+  for (int a = 0; a < 3; ++a) {
+    ASSERT_TRUE(storage_->AppendRoot(a, MakeRun(10, a * 100)).ok());
+  }
+  ASSERT_TRUE(storage_->FinishRootLoad().ok());
+
+  SegmentBuffer buf;
+  const Segment root{0, 0, 10};
+  for (int a = 0; a < 3; ++a) {
+    ASSERT_TRUE(storage_->ReadSegment(a, root, &buf).ok());
+    ASSERT_EQ(buf.records().size(), 10u);
+    EXPECT_EQ(buf.records()[0].tid, static_cast<Tid>(a * 100));
+  }
+  EXPECT_EQ(storage_->records_written(), 30u);
+  EXPECT_EQ(storage_->records_read(), 30u);
+}
+
+TEST_F(LevelStorageTest, SplitAcrossSlotsAndAdvance) {
+  ASSERT_TRUE(storage_->AppendRoot(0, MakeRun(10, 0)).ok());
+  ASSERT_TRUE(storage_->FinishRootLoad().ok());
+
+  // Children: 6 records to slot 0, 4 to slot 1.
+  ASSERT_TRUE(storage_->AppendChild(0, 0, MakeRun(6, 0)).ok());
+  ASSERT_TRUE(storage_->AppendChild(0, 1, MakeRun(4, 6)).ok());
+  ASSERT_TRUE(storage_->AdvanceLevel().ok());
+
+  SegmentBuffer buf;
+  ASSERT_TRUE(storage_->ReadSegment(0, Segment{0, 0, 6}, &buf).ok());
+  EXPECT_EQ(buf.records()[5].tid, 5u);
+  ASSERT_TRUE(storage_->ReadSegment(0, Segment{1, 0, 4}, &buf).ok());
+  EXPECT_EQ(buf.records()[0].tid, 6u);
+}
+
+TEST_F(LevelStorageTest, MultipleSegmentsPerSlot) {
+  ASSERT_TRUE(storage_->FinishRootLoad().ok());
+  // Two leaves mapped to the same slot: contiguous segments.
+  ASSERT_TRUE(storage_->AppendChild(1, 0, MakeRun(5, 0)).ok());
+  ASSERT_TRUE(storage_->AppendChild(1, 0, MakeRun(3, 50)).ok());
+  ASSERT_TRUE(storage_->AdvanceLevel().ok());
+
+  SegmentBuffer buf;
+  ASSERT_TRUE(storage_->ReadSegment(1, Segment{0, 5, 3}, &buf).ok());
+  ASSERT_EQ(buf.records().size(), 3u);
+  EXPECT_EQ(buf.records()[0].tid, 50u);
+}
+
+TEST_F(LevelStorageTest, AdvanceTruncatesOldCurrent) {
+  ASSERT_TRUE(storage_->AppendRoot(0, MakeRun(4, 0)).ok());
+  ASSERT_TRUE(storage_->FinishRootLoad().ok());
+  ASSERT_TRUE(storage_->AppendChild(0, 0, MakeRun(2, 0)).ok());
+  ASSERT_TRUE(storage_->AdvanceLevel().ok());
+  // Old root data must be gone: second advance swaps again; the now-current
+  // set (previously truncated) must be empty.
+  ASSERT_TRUE(storage_->AdvanceLevel().ok());
+  SegmentBuffer buf;
+  EXPECT_FALSE(storage_->ReadSegment(0, Segment{0, 0, 1}, &buf).ok());
+}
+
+TEST_F(LevelStorageTest, BorrowingStorageReadsParentSet) {
+  ASSERT_TRUE(storage_->AppendRoot(2, MakeRun(8, 0)).ok());
+  ASSERT_TRUE(storage_->FinishRootLoad().ok());
+
+  std::unique_ptr<LevelStorage> child;
+  ASSERT_TRUE(LevelStorage::CreateBorrowing(env_.get(), "/scratch", "g0",
+                                            /*num_attrs=*/3, /*num_slots=*/2,
+                                            storage_->current_set(), &child)
+                  .ok());
+  // Child reads the parent's records...
+  SegmentBuffer buf;
+  ASSERT_TRUE(child->ReadSegment(2, Segment{0, 0, 8}, &buf).ok());
+  EXPECT_EQ(buf.records().size(), 8u);
+  // ...writes its own children, and after AdvanceLevel reads those.
+  ASSERT_TRUE(child->AppendChild(2, 1, MakeRun(3, 100)).ok());
+  ASSERT_TRUE(child->AdvanceLevel().ok());
+  ASSERT_TRUE(child->ReadSegment(2, Segment{1, 0, 3}, &buf).ok());
+  EXPECT_EQ(buf.records()[0].tid, 100u);
+  // The parent set is released; the parent still reads its own data.
+  ASSERT_TRUE(storage_->ReadSegment(2, Segment{0, 0, 8}, &buf).ok());
+}
+
+TEST_F(LevelStorageTest, BorrowedSetOutlivesParentStorage) {
+  ASSERT_TRUE(storage_->AppendRoot(0, MakeRun(5, 0)).ok());
+  ASSERT_TRUE(storage_->FinishRootLoad().ok());
+  std::shared_ptr<FileSet> source = storage_->current_set();
+
+  std::unique_ptr<LevelStorage> child;
+  ASSERT_TRUE(LevelStorage::CreateBorrowing(env_.get(), "/scratch", "g1",
+                                            3, 2, source, &child)
+                  .ok());
+  source.reset();
+  storage_.reset();  // parent dies; the child's borrow keeps the set alive
+  SegmentBuffer buf;
+  ASSERT_TRUE(child->ReadSegment(0, Segment{0, 0, 5}, &buf).ok());
+  EXPECT_EQ(buf.records().size(), 5u);
+}
+
+TEST(FileSetTest, DeletesFilesOnDestruction) {
+  auto env = Env::NewMem();
+  std::shared_ptr<FileSet> set;
+  ASSERT_TRUE(FileSet::Create(env.get(), "/d", "p", 2, 2, &set).ok());
+  EXPECT_TRUE(env->FileExists("/d/p.a0.s0"));
+  EXPECT_TRUE(env->FileExists("/d/p.a1.s1"));
+  set.reset();
+  EXPECT_FALSE(env->FileExists("/d/p.a0.s0"));
+  EXPECT_FALSE(env->FileExists("/d/p.a1.s1"));
+}
+
+TEST(FileSetTest, WindowSlotNaming) {
+  auto env = Env::NewMem();
+  std::shared_ptr<FileSet> set;
+  ASSERT_TRUE(FileSet::Create(env.get(), "/d", "w", 1, 4, &set).ok());
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_TRUE(env->FileExists("/d/w.a0.s" + std::to_string(s)));
+  }
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,86 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.h"
+
+namespace smptree {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotEvaluate) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  SMPTREE_LOG(kDebug) << "value " << expensive();
+  SMPTREE_LOG(kError) << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LoggingTest, EnabledLevelsEvaluate) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto counted = [&] {
+    ++evaluations;
+    return 1;
+  };
+  SMPTREE_LOG(kDebug) << counted();
+  SMPTREE_LOG(kWarn) << counted();
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  Timer busy;
+  while (busy.Millis() < 5.0) {
+  }
+  EXPECT_GE(timer.Millis(), 5.0);
+  EXPECT_LT(timer.Seconds(), 5.0);
+}
+
+TEST(TimerTest, StartResets) {
+  Timer timer;
+  Timer busy;
+  while (busy.Millis() < 5.0) {
+  }
+  timer.Start();
+  EXPECT_LT(timer.Millis(), 5.0);
+}
+
+TEST(AccumTimerTest, AccumulatesAcrossSections) {
+  AccumTimer acc;
+  for (int i = 0; i < 3; ++i) {
+    acc.Resume();
+    Timer busy;
+    while (busy.Millis() < 2.0) {
+    }
+    acc.Pause();
+  }
+  EXPECT_GE(acc.Seconds(), 0.006);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace smptree

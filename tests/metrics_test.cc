@@ -1,0 +1,131 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Schema SimpleSchema() {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"A", "B"});
+  return s;
+}
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  cm.Add(1, 1);
+  cm.Add(1, 1);
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.count(0, 0), 1);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(1, 1), 2);
+  EXPECT_EQ(cm.correct(), 3);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringHasClassNames) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  const std::string s = cm.ToString(SimpleSchema());
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("accuracy"), std::string::npos);
+}
+
+TEST(EvaluateTreeTest, PerfectTreeOnCleanData) {
+  // Noise-free synthetic functions are exactly learnable: training accuracy
+  // of an unpruned tree must be 1.0.
+  for (int f : {1, 3, 6}) {
+    SyntheticConfig cfg;
+    cfg.function = f;
+    cfg.num_tuples = 2000;
+    auto data = GenerateSynthetic(cfg);
+    ASSERT_TRUE(data.ok());
+    ClassifierOptions options;
+    auto trained = TrainClassifier(*data, options);
+    ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+    const ConfusionMatrix cm = EvaluateTree(*trained->tree, *data);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0) << "function " << f;
+    EXPECT_EQ(cm.total(), 2000);
+  }
+}
+
+TEST(ClassifyDatasetTest, ParallelMatchesSerial) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_tuples = 5000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  auto trained = TrainClassifier(*data, options);
+  ASSERT_TRUE(trained.ok());
+
+  const auto serial = ClassifyDataset(*trained->tree, *data, 1);
+  for (int threads : {2, 4, 7}) {
+    const auto parallel = ClassifyDataset(*trained->tree, *data, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(ClassifyDatasetTest, TinyDatasetMoreThreadsThanTuples) {
+  SyntheticConfig cfg;
+  cfg.function = 1;
+  cfg.num_tuples = 3;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  auto trained = TrainClassifier(*data, options);
+  ASSERT_TRUE(trained.ok());
+  const auto labels = ClassifyDataset(*trained->tree, *data, 16);
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(EvaluateTreeParallelTest, MatchesSequentialEvaluation) {
+  SyntheticConfig cfg;
+  cfg.function = 3;
+  cfg.num_tuples = 4000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  auto trained = TrainClassifier(*data, options);
+  ASSERT_TRUE(trained.ok());
+  const ConfusionMatrix a = EvaluateTree(*trained->tree, *data);
+  const ConfusionMatrix b = EvaluateTreeParallel(*trained->tree, *data, 4);
+  ASSERT_EQ(a.total(), b.total());
+  for (int x = 0; x < a.num_classes(); ++x) {
+    for (int y = 0; y < a.num_classes(); ++y) {
+      EXPECT_EQ(a.count(x, y), b.count(x, y));
+    }
+  }
+}
+
+TEST(EvaluateTreeTest, GeneralizesToHeldOutData) {
+  SyntheticConfig cfg;
+  cfg.function = 2;
+  cfg.num_tuples = 8000;
+  auto train = GenerateSynthetic(cfg);
+  ASSERT_TRUE(train.ok());
+  cfg.seed = 4242;
+  cfg.num_tuples = 2000;
+  auto test = GenerateSynthetic(cfg);
+  ASSERT_TRUE(test.ok());
+
+  ClassifierOptions options;
+  auto trained = TrainClassifier(*train, options);
+  ASSERT_TRUE(trained.ok());
+  EXPECT_GT(TreeAccuracy(*trained->tree, *test), 0.97);
+}
+
+}  // namespace
+}  // namespace smptree

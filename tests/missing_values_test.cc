@@ -1,0 +1,126 @@
+// Missing-value handling: continuous missing values are the canonical
+// lowest-float sentinel ("missing goes left" -- below every threshold),
+// categorical domains model missing as an explicit value code. Both flow
+// through training, splitting and classification with no special cases.
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/metrics.h"
+#include "core/tree_io.h"
+#include "data/csv.h"
+#include "util/random.h"
+
+namespace smptree {
+namespace {
+
+Schema MixedSchema() {
+  Schema s;
+  s.AddContinuous("income");
+  s.AddCategorical("region", 4, {"north", "south", "east", "unknown"});
+  s.SetClassNames({"yes", "no"});
+  return s;
+}
+
+TEST(MissingValuesTest, SentinelProperties) {
+  EXPECT_TRUE(IsMissing(kMissingValue));
+  EXPECT_FALSE(IsMissing(0.0f));
+  EXPECT_FALSE(IsMissing(-1e30f));
+  // Below every realistic threshold: always goes left.
+  SplitTest t;
+  t.attr = 0;
+  t.threshold = -1e20f;
+  AttrValue v;
+  v.f = kMissingValue;
+  EXPECT_TRUE(t.GoesLeft(v));
+}
+
+TEST(MissingValuesTest, CsvQuestionMarkRoundTrip) {
+  auto parsed = FromCsvString(MixedSchema(),
+                              "income,region,class\n"
+                              "50000,north,yes\n"
+                              "?,unknown,no\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(IsMissing(parsed->value(0, 0).f));
+  EXPECT_TRUE(IsMissing(parsed->value(1, 0).f));
+  // Serializes back as "?".
+  const std::string out = ToCsvString(*parsed);
+  EXPECT_NE(out.find("?,unknown,no"), std::string::npos);
+  // And the round trip is stable.
+  auto again = FromCsvString(MixedSchema(), out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(IsMissing(again->value(1, 0).f));
+}
+
+TEST(MissingValuesTest, CategoricalQuestionMarkRejectedWithoutValue) {
+  // "?" is not a declared region value name; the parser must reject rather
+  // than guess.
+  Schema s;
+  s.AddCategorical("c", 2, {"a", "b"});
+  s.SetClassNames({"x", "y"});
+  EXPECT_TRUE(
+      FromCsvString(s, "c,class\n?,x\n").status().IsCorruption());
+}
+
+TEST(MissingValuesTest, TrainsAndClassifiesThroughMissing) {
+  // Signal: income threshold decides, but 20% of incomes are missing and
+  // missing rows are mostly "no" -- the tree can use the missing-left
+  // property to capture them.
+  Dataset data(MixedSchema());
+  Random rng(404);
+  TupleValues v(2);
+  for (int i = 0; i < 4000; ++i) {
+    const bool missing = rng.Bernoulli(0.2);
+    const double income = rng.UniformDouble(10000, 100000);
+    v[0].f = missing ? kMissingValue : static_cast<float>(income);
+    v[1].cat = static_cast<int32_t>(rng.Uniform(3));
+    const bool yes = !missing && income > 42000;
+    ASSERT_TRUE(data.Append(v, yes ? 0 : 1).ok());
+  }
+  for (Algorithm algorithm : {Algorithm::kSerial, Algorithm::kMwk}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = algorithm == Algorithm::kSerial ? 1 : 4;
+    auto result = TrainClassifier(data, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_DOUBLE_EQ(TreeAccuracy(*result->tree, data), 1.0)
+        << AlgorithmName(algorithm);
+    EXPECT_TRUE(result->tree->Validate().ok());
+    // A fresh missing-income tuple classifies deterministically.
+    v[0].f = kMissingValue;
+    v[1].cat = 0;
+    EXPECT_EQ(result->tree->Classify(v), 1) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(MissingValuesTest, ParallelMatchesSerialWithMissingData) {
+  Dataset data(MixedSchema());
+  Random rng(7171);
+  TupleValues v(2);
+  for (int i = 0; i < 1500; ++i) {
+    v[0].f = rng.Bernoulli(0.3)
+                 ? kMissingValue
+                 : static_cast<float>(rng.UniformDouble(0, 1000));
+    v[1].cat = static_cast<int32_t>(rng.Uniform(4));
+    const bool yes = (v[1].cat == 2) != (v[0].f != kMissingValue &&
+                                         v[0].f > 500.0f);
+    ASSERT_TRUE(data.Append(v, yes ? 0 : 1).ok());
+  }
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(data, serial);
+  ASSERT_TRUE(expected.ok());
+  for (Algorithm algorithm :
+       {Algorithm::kBasic, Algorithm::kFwk, Algorithm::kMwk,
+        Algorithm::kSubtree}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = 3;
+    auto actual = TrainClassifier(data, options);
+    ASSERT_TRUE(actual.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+        << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace smptree

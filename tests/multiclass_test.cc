@@ -1,0 +1,140 @@
+// k-class end-to-end coverage: the published benchmark is two-class, so the
+// multiclass generator extension exercises the k-way histogram, gini, and
+// probe paths across all algorithms.
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/metrics.h"
+#include "core/tree_io.h"
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+TEST(MulticlassGeneratorTest, SchemaHasBandClasses) {
+  const Schema s = MulticlassSchema(12, 5);
+  EXPECT_EQ(s.num_classes(), 5);
+  EXPECT_EQ(s.class_name(0), "band 0");
+  EXPECT_EQ(s.class_name(4), "band 4");
+  EXPECT_EQ(s.num_attrs(), 12);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(MulticlassGeneratorTest, LabelsMatchBandFunction) {
+  MulticlassConfig cfg;
+  cfg.num_classes = 6;
+  cfg.num_tuples = 1000;
+  auto data = GenerateMulticlassSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  for (int64_t t = 0; t < data->num_tuples(); ++t) {
+    EXPECT_EQ(data->label(t), MulticlassBand(data->Tuple(t), 6)) << t;
+  }
+}
+
+TEST(MulticlassGeneratorTest, AllBandsPopulated) {
+  for (int k : {3, 4, 8}) {
+    MulticlassConfig cfg;
+    cfg.num_classes = k;
+    cfg.num_tuples = 8000;
+    auto data = GenerateMulticlassSynthetic(cfg);
+    ASSERT_TRUE(data.ok());
+    const auto counts = data->ClassCounts();
+    for (int c = 0; c < k; ++c) {
+      EXPECT_GT(counts[c], 0) << "k=" << k << " band " << c;
+    }
+  }
+}
+
+TEST(MulticlassGeneratorTest, RejectsBadConfig) {
+  MulticlassConfig cfg;
+  cfg.num_classes = 1;
+  EXPECT_FALSE(GenerateMulticlassSynthetic(cfg).ok());
+  cfg.num_classes = 17;
+  EXPECT_FALSE(GenerateMulticlassSynthetic(cfg).ok());
+  cfg.num_classes = 4;
+  cfg.num_attrs = 3;
+  EXPECT_FALSE(GenerateMulticlassSynthetic(cfg).ok());
+}
+
+TEST(MulticlassTrainingTest, PerfectFitOnCleanData) {
+  MulticlassConfig cfg;
+  cfg.num_classes = 5;
+  cfg.num_tuples = 3000;
+  auto data = GenerateMulticlassSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  auto result = TrainClassifier(*data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(TreeAccuracy(*result->tree, *data), 1.0);
+}
+
+class MulticlassAlgorithmTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(MulticlassAlgorithmTest, MatchesSerialOnFourClasses) {
+  MulticlassConfig cfg;
+  cfg.num_classes = 4;
+  cfg.num_tuples = 1200;
+  cfg.num_attrs = 11;
+  auto data = GenerateMulticlassSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+
+  ClassifierOptions options;
+  options.build.algorithm = GetParam();
+  options.build.num_threads = 4;
+  auto actual = TrainClassifier(*data, options);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, MulticlassAlgorithmTest,
+    ::testing::Values(Algorithm::kBasic, Algorithm::kFwk, Algorithm::kMwk,
+                      Algorithm::kSubtree, Algorithm::kRecordParallel),
+    [](const auto& info) { return AlgorithmName(info.param); });
+
+TEST(MulticlassTrainingTest, SixteenClassesRoundTrip) {
+  MulticlassConfig cfg;
+  cfg.num_classes = 16;
+  cfg.num_tuples = 4000;
+  auto data = GenerateMulticlassSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  options.build.algorithm = Algorithm::kMwk;
+  options.build.num_threads = 4;
+  auto result = TrainClassifier(*data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(TreeAccuracy(*result->tree, *data), 0.99);
+  auto parsed =
+      DeserializeTree(data->schema(), SerializeTree(*result->tree));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(TreesEqual(*result->tree, *parsed));
+}
+
+TEST(MulticlassTrainingTest, NoisyLabelsStillLearnable) {
+  MulticlassConfig cfg;
+  cfg.num_classes = 4;
+  cfg.num_tuples = 6000;
+  cfg.label_noise = 0.1;
+  auto data = GenerateMulticlassSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  options.prune.method = PruneOptions::Method::kCostComplexity;
+  options.prune.split_penalty = 2.0;
+  auto result = TrainClassifier(*data, options);
+  ASSERT_TRUE(result.ok());
+  // Clean evaluation data from the same surface.
+  MulticlassConfig clean = cfg;
+  clean.label_noise = 0.0;
+  clean.seed = 999;
+  auto test = GenerateMulticlassSynthetic(clean);
+  ASSERT_TRUE(test.ok());
+  EXPECT_GT(TreeAccuracy(*result->tree, *test), 0.85);
+}
+
+}  // namespace
+}  // namespace smptree

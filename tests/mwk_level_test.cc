@@ -1,0 +1,105 @@
+// Unit tests of the MWK pipeline primitive (per-leaf wake-ups + the split
+// gate) below the builder level.
+
+#include "parallel/mwk_level.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace smptree {
+namespace {
+
+TEST(MwkPipelineTest, WaitForProcessedLeafReturnsImmediately) {
+  MwkPipeline pipeline;
+  BuildCounters counters;
+  pipeline.Arm(3);
+  EXPECT_FALSE(pipeline.MarkDone(1));
+  pipeline.WaitForLeaf(1, &counters);  // must not block
+}
+
+TEST(MwkPipelineTest, LastMarkDoneReturnsTrueExactlyOnce) {
+  MwkPipeline pipeline;
+  pipeline.Arm(3);
+  EXPECT_FALSE(pipeline.MarkDone(0));
+  EXPECT_FALSE(pipeline.MarkDone(2));
+  EXPECT_TRUE(pipeline.MarkDone(1));
+}
+
+TEST(MwkPipelineTest, WaiterWokenByMarkDone) {
+  MwkPipeline pipeline;
+  BuildCounters counters;
+  pipeline.Arm(2);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    pipeline.WaitForLeaf(0, &counters);
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  pipeline.MarkDone(0);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(MwkPipelineTest, GateStaysShutUntilOpened) {
+  MwkPipeline pipeline;
+  BuildCounters counters;
+  pipeline.Arm(1);
+  // Even after the last leaf is done, the gate waits for OpenGate (the
+  // window between them is where AssignChildSlots runs).
+  EXPECT_TRUE(pipeline.MarkDone(0));
+  std::atomic<bool> through{false};
+  std::thread waiter([&] {
+    pipeline.WaitGate(&counters);
+    through.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(through.load());
+  pipeline.OpenGate();
+  waiter.join();
+  EXPECT_TRUE(through.load());
+}
+
+TEST(MwkPipelineTest, EmptyLevelGateStartsOpen) {
+  MwkPipeline pipeline;
+  BuildCounters counters;
+  pipeline.Arm(0);
+  pipeline.WaitGate(&counters);  // must not block
+}
+
+TEST(MwkPipelineTest, RearmResets) {
+  MwkPipeline pipeline;
+  BuildCounters counters;
+  pipeline.Arm(1);
+  EXPECT_TRUE(pipeline.MarkDone(0));
+  pipeline.OpenGate();
+  pipeline.Arm(2);  // fresh level
+  std::atomic<bool> through{false};
+  std::thread waiter([&] {
+    pipeline.WaitGate(&counters);
+    through.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(through.load());  // old gate state must not leak
+  pipeline.MarkDone(0);
+  EXPECT_TRUE(pipeline.MarkDone(1));
+  pipeline.OpenGate();
+  waiter.join();
+}
+
+TEST(MwkPipelineTest, CountersRecordSleeps) {
+  MwkPipeline pipeline;
+  BuildCounters counters;
+  pipeline.Arm(2);
+  std::thread waiter([&] { pipeline.WaitForLeaf(1, &counters); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pipeline.MarkDone(1);
+  waiter.join();
+  EXPECT_GE(counters.condvar_waits.load(), 1u);
+  EXPECT_GT(counters.wait_nanos.load(), 0u);
+}
+
+}  // namespace
+}  // namespace smptree

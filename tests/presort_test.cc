@@ -1,0 +1,117 @@
+#include "core/presort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Dataset MakeData(int n, int attrs = 9) {
+  SyntheticConfig cfg;
+  cfg.function = 2;
+  cfg.num_tuples = n;
+  cfg.num_attrs = attrs;
+  auto data = GenerateSynthetic(cfg);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(PresortTest, OneListPerAttribute) {
+  const Dataset data = MakeData(100);
+  auto lists = BuildAttributeLists(data);
+  ASSERT_TRUE(lists.ok());
+  ASSERT_EQ(lists->lists.size(), 9u);
+  for (const auto& list : lists->lists) {
+    EXPECT_EQ(list.size(), 100u);
+  }
+}
+
+TEST(PresortTest, ContinuousListsSortedCategoricalInTidOrder) {
+  const Dataset data = MakeData(500);
+  auto lists = BuildAttributeLists(data);
+  ASSERT_TRUE(lists.ok());
+  for (int a = 0; a < data.num_attrs(); ++a) {
+    const auto& list = lists->lists[a];
+    if (data.schema().attr(a).is_categorical()) {
+      // Categorical lists stay in unsorted (original tid) order.
+      for (size_t i = 0; i < list.size(); ++i) {
+        EXPECT_EQ(list[i].tid, static_cast<Tid>(i));
+      }
+    } else {
+      EXPECT_TRUE(std::is_sorted(list.begin(), list.end(),
+                                 ContinuousRecordLess()));
+    }
+  }
+}
+
+TEST(PresortTest, RecordsCarryCorrectValueAndLabel) {
+  const Dataset data = MakeData(200);
+  auto lists = BuildAttributeLists(data);
+  ASSERT_TRUE(lists.ok());
+  for (int a = 0; a < data.num_attrs(); ++a) {
+    for (const AttrRecord& rec : lists->lists[a]) {
+      EXPECT_EQ(rec.label, data.label(rec.tid));
+      if (data.schema().attr(a).is_categorical()) {
+        EXPECT_EQ(rec.value.cat, data.value(rec.tid, a).cat);
+      } else {
+        EXPECT_EQ(rec.value.f, data.value(rec.tid, a).f);
+      }
+    }
+  }
+}
+
+TEST(PresortTest, ParallelSortMatchesSequential) {
+  const Dataset data = MakeData(1000, 16);
+  auto seq = BuildAttributeLists(data, 1);
+  auto par = BuildAttributeLists(data, 4);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  for (int a = 0; a < data.num_attrs(); ++a) {
+    const auto& s = seq->lists[a];
+    const auto& p = par->lists[a];
+    ASSERT_EQ(s.size(), p.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(s[i].tid, p[i].tid) << "attr " << a << " index " << i;
+    }
+  }
+}
+
+TEST(PresortTest, TimersPopulated) {
+  const Dataset data = MakeData(100);
+  auto lists = BuildAttributeLists(data);
+  ASSERT_TRUE(lists.ok());
+  EXPECT_GE(lists->setup_seconds, 0.0);
+  EXPECT_GE(lists->sort_seconds, 0.0);
+}
+
+TEST(PresortTest, RejectsEmptyDataset) {
+  Dataset empty(SyntheticSchema(9));
+  EXPECT_TRUE(BuildAttributeLists(empty).status().IsInvalidArgument());
+}
+
+TEST(PresortTest, DeterministicTieBreakByTid) {
+  // Equal values must order by tid so every build sees identical lists.
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"A", "B"});
+  Dataset data(s);
+  TupleValues v(1);
+  for (int i = 0; i < 50; ++i) {
+    v[0].f = static_cast<float>(i % 3);  // many duplicates
+    ASSERT_TRUE(data.Append(v, i % 2).ok());
+  }
+  auto lists = BuildAttributeLists(data);
+  ASSERT_TRUE(lists.ok());
+  const auto& list = lists->lists[0];
+  for (size_t i = 0; i + 1 < list.size(); ++i) {
+    if (list[i].value.f == list[i + 1].value.f) {
+      EXPECT_LT(list[i].tid, list[i + 1].tid);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smptree

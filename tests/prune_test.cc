@@ -1,0 +1,149 @@
+#include "core/prune.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Schema SimpleSchema() {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"A", "B"});
+  return s;
+}
+
+ClassHistogram Hist(int64_t a, int64_t b) {
+  ClassHistogram h(2);
+  h.Add(0, a);
+  h.Add(1, b);
+  return h;
+}
+
+/// Root split whose children are barely-informative noise leaves.
+DecisionTree NoisyTree() {
+  DecisionTree tree(SimpleSchema());
+  const NodeId root = tree.CreateRoot(Hist(52, 48));
+  SplitTest t;
+  t.attr = 0;
+  t.threshold = 0.5f;
+  tree.SetSplit(root, t);
+  tree.AddChild(root, true, Hist(27, 23));
+  tree.AddChild(root, false, Hist(25, 25));
+  return tree;
+}
+
+/// Root split that perfectly separates classes.
+DecisionTree CleanTree() {
+  DecisionTree tree(SimpleSchema());
+  const NodeId root = tree.CreateRoot(Hist(50, 50));
+  SplitTest t;
+  t.attr = 0;
+  t.threshold = 0.5f;
+  tree.SetSplit(root, t);
+  tree.AddChild(root, true, Hist(50, 0));
+  tree.AddChild(root, false, Hist(0, 50));
+  return tree;
+}
+
+TEST(PessimisticErrorsTest, UpperBoundsObservedErrors) {
+  EXPECT_GT(PessimisticErrors(100, 10, 0.6745), 10.0);
+  EXPECT_GT(PessimisticErrors(10, 0, 0.6745), 0.0);
+  EXPECT_DOUBLE_EQ(PessimisticErrors(0, 0, 0.6745), 0.0);
+}
+
+TEST(PessimisticErrorsTest, BoundTightensWithSampleSize) {
+  // Error *rate* bound shrinks as n grows for the same observed rate.
+  const double small = PessimisticErrors(10, 1, 0.6745) / 10.0;
+  const double large = PessimisticErrors(1000, 100, 0.6745) / 1000.0;
+  EXPECT_GT(small, large);
+}
+
+TEST(PruneTest, NoneIsNoOp) {
+  DecisionTree tree = NoisyTree();
+  PruneOptions options;  // kNone
+  EXPECT_EQ(PruneTree(&tree, options), 0);
+  EXPECT_EQ(tree.num_nodes(), 3);
+}
+
+TEST(PruneTest, PessimisticPrunesNoiseSplit) {
+  DecisionTree tree = NoisyTree();
+  PruneOptions options;
+  options.method = PruneOptions::Method::kPessimistic;
+  EXPECT_EQ(PruneTree(&tree, options), 2);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_TRUE(tree.node(tree.root()).is_leaf());
+}
+
+TEST(PruneTest, PessimisticKeepsCleanSplit) {
+  DecisionTree tree = CleanTree();
+  PruneOptions options;
+  options.method = PruneOptions::Method::kPessimistic;
+  EXPECT_EQ(PruneTree(&tree, options), 0);
+  EXPECT_EQ(tree.num_nodes(), 3);
+}
+
+TEST(PruneTest, CostComplexityPrunesNoiseSplit) {
+  DecisionTree tree = NoisyTree();
+  PruneOptions options;
+  options.method = PruneOptions::Method::kCostComplexity;
+  // Leaf: 48 errors + 0.5; subtree: (23.5 + 25.5) + 1 = 50 -> prune.
+  EXPECT_EQ(PruneTree(&tree, options), 2);
+  EXPECT_TRUE(tree.node(tree.root()).is_leaf());
+}
+
+TEST(PruneTest, CostComplexityKeepsCleanSplit) {
+  DecisionTree tree = CleanTree();
+  PruneOptions options;
+  options.method = PruneOptions::Method::kCostComplexity;
+  EXPECT_EQ(PruneTree(&tree, options), 0);
+}
+
+TEST(PruneTest, HugeSplitPenaltyCollapsesToRoot) {
+  DecisionTree tree = CleanTree();
+  PruneOptions options;
+  options.method = PruneOptions::Method::kCostComplexity;
+  options.split_penalty = 1e9;
+  EXPECT_EQ(PruneTree(&tree, options), 2);
+  EXPECT_EQ(tree.num_nodes(), 1);
+}
+
+TEST(PruneTest, NoisyTrainingShrinksTreeWithoutHurtingAccuracyMuch) {
+  SyntheticConfig cfg;
+  cfg.function = 1;
+  cfg.num_tuples = 4000;
+  cfg.label_noise = 0.15;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions unpruned;
+  unpruned.build.min_split = 2;
+  auto grown = TrainClassifier(*data, unpruned);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+
+  ClassifierOptions pruned = unpruned;
+  pruned.prune.method = PruneOptions::Method::kCostComplexity;
+  pruned.prune.split_penalty = 1.0;
+  auto trimmed = TrainClassifier(*data, pruned);
+  ASSERT_TRUE(trimmed.ok());
+
+  EXPECT_LT(trimmed->tree->num_nodes(), grown->tree->num_nodes());
+  EXPECT_GT(trimmed->stats.nodes_pruned, 0);
+
+  // Accuracy on clean test data should not collapse (the pruned tree should
+  // generalize at least as well as the noise-fitted one, within slack).
+  SyntheticConfig test_cfg = cfg;
+  test_cfg.label_noise = 0.0;
+  test_cfg.seed = 777;
+  auto test = GenerateSynthetic(test_cfg);
+  ASSERT_TRUE(test.ok());
+  const double grown_acc = TreeAccuracy(*grown->tree, *test);
+  const double pruned_acc = TreeAccuracy(*trimmed->tree, *test);
+  EXPECT_GT(pruned_acc, grown_acc - 0.02);
+}
+
+}  // namespace
+}  // namespace smptree

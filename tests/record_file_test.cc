@@ -1,0 +1,126 @@
+#include "storage/record_file.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smptree {
+namespace {
+
+AttrRecord MakeRec(float v, Tid tid, ClassLabel label) {
+  AttrRecord r;
+  r.value.f = v;
+  r.tid = tid;
+  r.label = label;
+  r.unused = 0;
+  return r;
+}
+
+class RecordFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::NewMem();
+    ASSERT_TRUE(file_.Open(env_.get(), "/f").ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  AttrRecordFile file_;
+};
+
+TEST_F(RecordFileTest, RoundTripSmallBatch) {
+  std::vector<AttrRecord> recs;
+  for (int i = 0; i < 10; ++i) {
+    recs.push_back(MakeRec(static_cast<float>(i), i, i % 2));
+  }
+  ASSERT_TRUE(file_.Append(recs).ok());
+  ASSERT_TRUE(file_.Flush().ok());
+  EXPECT_EQ(file_.NumRecords(), 10u);
+
+  SegmentBuffer buf;
+  ASSERT_TRUE(file_.ReadSegment(0, 10, &buf).ok());
+  auto span = buf.records();
+  ASSERT_EQ(span.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(span[i].value.f, static_cast<float>(i));
+    EXPECT_EQ(span[i].tid, static_cast<Tid>(i));
+    EXPECT_EQ(span[i].label, i % 2);
+  }
+}
+
+TEST_F(RecordFileTest, SubSegmentRead) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(file_.Append(MakeRec(static_cast<float>(i), i, 0)).ok());
+  }
+  ASSERT_TRUE(file_.Flush().ok());
+  SegmentBuffer buf;
+  ASSERT_TRUE(file_.ReadSegment(40, 20, &buf).ok());
+  ASSERT_EQ(buf.records().size(), 20u);
+  EXPECT_EQ(buf.records()[0].tid, 40u);
+  EXPECT_EQ(buf.records()[19].tid, 59u);
+}
+
+TEST_F(RecordFileTest, EmptySegment) {
+  SegmentBuffer buf;
+  ASSERT_TRUE(file_.ReadSegment(0, 0, &buf).ok());
+  EXPECT_TRUE(buf.records().empty());
+}
+
+TEST_F(RecordFileTest, ReadPastFlushedEndFails) {
+  ASSERT_TRUE(file_.Append(MakeRec(1.0f, 0, 0)).ok());
+  // Still buffered, not flushed.
+  SegmentBuffer buf;
+  EXPECT_FALSE(file_.ReadSegment(0, 1, &buf).ok());
+  ASSERT_TRUE(file_.Flush().ok());
+  EXPECT_TRUE(file_.ReadSegment(0, 1, &buf).ok());
+  EXPECT_FALSE(file_.ReadSegment(0, 2, &buf).ok());
+}
+
+TEST_F(RecordFileTest, LargeBatchBypassesBuffer) {
+  std::vector<AttrRecord> big(AttrRecordFile::kAppendBufferRecords * 2);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = MakeRec(static_cast<float>(i), static_cast<Tid>(i), 1);
+  }
+  ASSERT_TRUE(file_.Append(big).ok());
+  EXPECT_EQ(file_.NumRecords(), big.size());
+  SegmentBuffer buf;
+  ASSERT_TRUE(file_.ReadSegment(big.size() - 1, 1, &buf).ok());
+  EXPECT_EQ(buf.records()[0].tid, big.size() - 1);
+}
+
+TEST_F(RecordFileTest, AutoFlushAtThreshold) {
+  for (size_t i = 0; i < AttrRecordFile::kAppendBufferRecords; ++i) {
+    ASSERT_TRUE(file_.Append(MakeRec(0.0f, static_cast<Tid>(i), 0)).ok());
+  }
+  // The buffer hit its threshold and flushed without an explicit call.
+  SegmentBuffer buf;
+  EXPECT_TRUE(
+      file_.ReadSegment(0, AttrRecordFile::kAppendBufferRecords, &buf).ok());
+}
+
+TEST_F(RecordFileTest, TruncateResetsCounts) {
+  ASSERT_TRUE(file_.Append(MakeRec(1.0f, 1, 1)).ok());
+  ASSERT_TRUE(file_.Flush().ok());
+  ASSERT_TRUE(file_.Truncate().ok());
+  EXPECT_EQ(file_.NumRecords(), 0u);
+  ASSERT_TRUE(file_.Append(MakeRec(2.0f, 2, 0)).ok());
+  ASSERT_TRUE(file_.Flush().ok());
+  SegmentBuffer buf;
+  ASSERT_TRUE(file_.ReadSegment(0, 1, &buf).ok());
+  EXPECT_EQ(buf.records()[0].tid, 2u);
+}
+
+TEST_F(RecordFileTest, CategoricalValuesRoundTrip) {
+  AttrRecord r;
+  r.value.cat = -7;  // negative codes must survive the union round trip
+  r.tid = 3;
+  r.label = 1;
+  r.unused = 0;
+  ASSERT_TRUE(file_.Append(r).ok());
+  ASSERT_TRUE(file_.Flush().ok());
+  SegmentBuffer buf;
+  ASSERT_TRUE(file_.ReadSegment(0, 1, &buf).ok());
+  EXPECT_EQ(buf.records()[0].value.cat, -7);
+}
+
+}  // namespace
+}  // namespace smptree

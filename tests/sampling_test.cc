@@ -1,0 +1,82 @@
+#include "data/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Dataset MakeData(int n) {
+  SyntheticConfig cfg;
+  cfg.function = 1;
+  cfg.num_tuples = n;
+  auto data = GenerateSynthetic(cfg);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(SplitTrainTestTest, PartitionsAllTuples) {
+  const Dataset data = MakeData(1000);
+  auto split = SplitTrainTest(data, 0.3, 42);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_tuples() + split->test.num_tuples(), 1000);
+  EXPECT_NEAR(split->test.num_tuples() / 1000.0, 0.3, 0.06);
+}
+
+TEST(SplitTrainTestTest, DeterministicInSeed) {
+  const Dataset data = MakeData(200);
+  auto a = SplitTrainTest(data, 0.5, 7);
+  auto b = SplitTrainTest(data, 0.5, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->train.num_tuples(), b->train.num_tuples());
+}
+
+TEST(SplitTrainTestTest, ZeroFractionKeepsAllInTrain) {
+  const Dataset data = MakeData(50);
+  auto split = SplitTrainTest(data, 0.0, 1);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_tuples(), 50);
+  EXPECT_EQ(split->test.num_tuples(), 0);
+}
+
+TEST(SplitTrainTestTest, RejectsBadFraction) {
+  const Dataset data = MakeData(10);
+  EXPECT_TRUE(SplitTrainTest(data, -0.1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(SplitTrainTest(data, 1.5, 1).status().IsInvalidArgument());
+}
+
+TEST(ShuffleDatasetTest, PermutesWithoutLoss) {
+  const Dataset data = MakeData(300);
+  auto shuffled = ShuffleDataset(data, 5);
+  ASSERT_TRUE(shuffled.ok());
+  ASSERT_EQ(shuffled->num_tuples(), 300);
+  // Same multiset of (salary, label) pairs.
+  std::multiset<std::pair<float, int>> before, after;
+  for (int64_t t = 0; t < 300; ++t) {
+    before.insert({data.value(t, 0).f, data.label(t)});
+    after.insert({shuffled->value(t, 0).f, shuffled->label(t)});
+  }
+  EXPECT_EQ(before, after);
+  // And actually permuted.
+  int moved = 0;
+  for (int64_t t = 0; t < 300; ++t) {
+    moved += shuffled->value(t, 0).f != data.value(t, 0).f;
+  }
+  EXPECT_GT(moved, 100);
+}
+
+TEST(TakePrefixTest, TakesAndClamps) {
+  const Dataset data = MakeData(20);
+  Dataset five = TakePrefix(data, 5);
+  EXPECT_EQ(five.num_tuples(), 5);
+  EXPECT_EQ(five.value(4, 0).f, data.value(4, 0).f);
+  Dataset all = TakePrefix(data, 100);
+  EXPECT_EQ(all.num_tuples(), 20);
+}
+
+}  // namespace
+}  // namespace smptree

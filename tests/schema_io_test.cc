@@ -1,0 +1,91 @@
+#include "data/schema_io.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Schema Mixed() {
+  Schema s;
+  s.AddContinuous("age");
+  s.AddCategorical("car", 3, {"family", "sports car", "truck"});
+  s.AddCategorical("zip", 4);
+  s.SetClassNames({"Group A", "Group B"});
+  return s;
+}
+
+TEST(SchemaIoTest, RoundTripMixedSchema) {
+  const Schema original = Mixed();
+  auto parsed = ParseSchemaText(FormatSchemaText(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_attrs(), 3);
+  EXPECT_EQ(parsed->attr(0).name, "age");
+  EXPECT_FALSE(parsed->attr(0).is_categorical());
+  EXPECT_EQ(parsed->attr(1).cardinality, 3);
+  EXPECT_EQ(parsed->attr(1).value_names[1], "sports car");  // quoted token
+  EXPECT_TRUE(parsed->attr(2).value_names.empty());
+  EXPECT_EQ(parsed->class_name(0), "Group A");
+  EXPECT_EQ(parsed->class_name(1), "Group B");
+}
+
+TEST(SchemaIoTest, RoundTripSyntheticSchemas) {
+  for (int attrs : {9, 32, 64}) {
+    const Schema original = SyntheticSchema(attrs);
+    auto parsed = ParseSchemaText(FormatSchemaText(original));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ASSERT_EQ(parsed->num_attrs(), attrs);
+    for (int a = 0; a < attrs; ++a) {
+      EXPECT_EQ(parsed->attr(a).name, original.attr(a).name);
+      EXPECT_EQ(parsed->attr(a).type, original.attr(a).type);
+      EXPECT_EQ(parsed->attr(a).cardinality, original.attr(a).cardinality);
+    }
+  }
+}
+
+TEST(SchemaIoTest, ParsesCommentsAndBlankLines) {
+  auto parsed = ParseSchemaText(
+      "# header comment\n"
+      "\n"
+      "attr x continuous\n"
+      "   # indented comment\n"
+      "classes yes no\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_attrs(), 1);
+}
+
+TEST(SchemaIoTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseSchemaText("").ok());  // fails Validate (no attrs)
+  EXPECT_FALSE(ParseSchemaText("attr x continuous\n").ok());  // no classes
+  EXPECT_FALSE(
+      ParseSchemaText("attr x wobbly\nclasses a b\n").ok());  // bad type
+  EXPECT_FALSE(
+      ParseSchemaText("attr x categorical zero\nclasses a b\n").ok());
+  EXPECT_FALSE(
+      ParseSchemaText("attr x categorical 5000\nclasses a b\n").ok());
+  EXPECT_FALSE(ParseSchemaText("attr x categorical 3 a b\nclasses a b\n")
+                   .ok());  // 2 names for card 3
+  EXPECT_FALSE(ParseSchemaText(
+                   "attr x continuous\nattr x continuous\nclasses a b\n")
+                   .ok());  // duplicate attr
+  EXPECT_FALSE(ParseSchemaText(
+                   "attr x continuous\nclasses a b\nclasses c d\n")
+                   .ok());  // duplicate classes
+  EXPECT_FALSE(
+      ParseSchemaText("frobnicate y\nclasses a b\n").ok());  // directive
+}
+
+TEST(SchemaIoTest, FileRoundTrip) {
+  const std::string path =
+      "/tmp/smptree_schema_test_" + std::to_string(::getpid()) + ".txt";
+  ASSERT_TRUE(WriteSchemaFile(Mixed(), path).ok());
+  auto parsed = ReadSchemaFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_attrs(), 3);
+  ::unlink(path.c_str());
+  EXPECT_TRUE(ReadSchemaFile(path).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace smptree

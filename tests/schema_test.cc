@@ -1,0 +1,82 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace smptree {
+namespace {
+
+Schema TwoClassSchema() {
+  Schema s;
+  s.AddContinuous("age");
+  s.AddCategorical("car", 20);
+  s.SetClassNames({"A", "B"});
+  return s;
+}
+
+TEST(SchemaTest, AddReturnsIndices) {
+  Schema s;
+  EXPECT_EQ(s.AddContinuous("a"), 0);
+  EXPECT_EQ(s.AddCategorical("b", 3), 1);
+  EXPECT_EQ(s.num_attrs(), 2);
+}
+
+TEST(SchemaTest, AttributeMetadata) {
+  Schema s = TwoClassSchema();
+  EXPECT_EQ(s.attr(0).name, "age");
+  EXPECT_FALSE(s.attr(0).is_categorical());
+  EXPECT_TRUE(s.attr(1).is_categorical());
+  EXPECT_EQ(s.attr(1).cardinality, 20);
+}
+
+TEST(SchemaTest, FindAttr) {
+  Schema s = TwoClassSchema();
+  EXPECT_EQ(s.FindAttr("car"), 1);
+  EXPECT_EQ(s.FindAttr("missing"), -1);
+}
+
+TEST(SchemaTest, ClassNames) {
+  Schema s = TwoClassSchema();
+  EXPECT_EQ(s.num_classes(), 2);
+  EXPECT_EQ(s.class_name(1), "B");
+}
+
+TEST(SchemaTest, ValidateAcceptsGood) {
+  EXPECT_TRUE(TwoClassSchema().Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsEmpty) {
+  Schema s;
+  s.SetClassNames({"A", "B"});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsOneClass) {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"only"});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsZeroCardinality) {
+  Schema s;
+  s.AddCategorical("bad", 0);
+  s.SetClassNames({"A", "B"});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsValueNameArityMismatch) {
+  Schema s;
+  s.AddCategorical("c", 3, {"x", "y"});
+  s.SetClassNames({"A", "B"});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsUnnamedAttr) {
+  Schema s;
+  s.AddContinuous("");
+  s.SetClassNames({"A", "B"});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace smptree

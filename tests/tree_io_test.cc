@@ -1,0 +1,136 @@
+#include "core/tree_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "data/synthetic.h"
+
+namespace smptree {
+namespace {
+
+Schema CarSchema() {
+  Schema s;
+  s.AddContinuous("age");
+  s.AddCategorical("car", 3);
+  s.SetClassNames({"high", "low"});
+  return s;
+}
+
+ClassHistogram Hist(int64_t a, int64_t b) {
+  ClassHistogram h(2);
+  h.Add(0, a);
+  h.Add(1, b);
+  return h;
+}
+
+DecisionTree SmallTree() {
+  DecisionTree tree(CarSchema());
+  const NodeId root = tree.CreateRoot(Hist(3, 3));
+  SplitTest t;
+  t.attr = 0;
+  t.threshold = 27.5f;
+  tree.SetSplit(root, t);
+  tree.AddChild(root, true, Hist(3, 0));
+  const NodeId right = tree.AddChild(root, false, Hist(0, 3));
+  SplitTest c;
+  c.attr = 1;
+  c.categorical = true;
+  c.subset = 0b101;
+  tree.SetSplit(right, c);
+  tree.AddChild(right, true, Hist(0, 1));
+  tree.AddChild(right, false, Hist(0, 2));
+  return tree;
+}
+
+TEST(TreeIoTest, RoundTripSmallTree) {
+  DecisionTree tree = SmallTree();
+  const std::string text = SerializeTree(tree);
+  auto parsed = DeserializeTree(CarSchema(), text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreesEqual(tree, *parsed));
+}
+
+TEST(TreeIoTest, RoundTripPreservesExactThreshold) {
+  DecisionTree tree(CarSchema());
+  tree.CreateRoot(Hist(1, 1));
+  SplitTest t;
+  t.attr = 0;
+  t.threshold = 0.1f;  // not exactly representable in decimal
+  tree.SetSplit(tree.root(), t);
+  tree.AddChild(tree.root(), true, Hist(1, 0));
+  tree.AddChild(tree.root(), false, Hist(0, 1));
+  auto parsed = DeserializeTree(CarSchema(), SerializeTree(tree));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->node(0).split.threshold, 0.1f);  // bit-exact
+}
+
+TEST(TreeIoTest, RoundTripSingleLeaf) {
+  DecisionTree tree(CarSchema());
+  tree.CreateRoot(Hist(0, 9));
+  auto parsed = DeserializeTree(CarSchema(), SerializeTree(tree));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(TreesEqual(tree, *parsed));
+  EXPECT_EQ(parsed->node(0).majority, 1);
+}
+
+TEST(TreeIoTest, RoundTripTrainedTree) {
+  SyntheticConfig cfg;
+  cfg.function = 2;
+  cfg.num_tuples = 2000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  auto trained = TrainClassifier(*data, options);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  auto parsed =
+      DeserializeTree(data->schema(), SerializeTree(*trained->tree));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreesEqual(*trained->tree, *parsed));
+  // Classification behaviour must survive the round trip.
+  for (int64_t t = 0; t < 200; ++t) {
+    EXPECT_EQ(trained->tree->Classify(*data, t), parsed->Classify(*data, t));
+  }
+}
+
+TEST(TreeIoTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeTree(CarSchema(), "").ok());
+  EXPECT_FALSE(DeserializeTree(CarSchema(), "not a tree\n").ok());
+  EXPECT_FALSE(
+      DeserializeTree(CarSchema(), "tree v1 classes=2 nodes=0\n").ok());
+}
+
+TEST(TreeIoTest, RejectsTruncatedBody) {
+  DecisionTree tree = SmallTree();
+  std::string text = SerializeTree(tree);
+  text.resize(text.size() - 30);  // drop the last leaf line(s)
+  EXPECT_FALSE(DeserializeTree(CarSchema(), text).ok());
+}
+
+TEST(TreeIoTest, RejectsCountArityMismatch) {
+  Schema three = CarSchema();
+  three.SetClassNames({"a", "b", "c"});
+  DecisionTree tree = SmallTree();
+  EXPECT_FALSE(DeserializeTree(three, SerializeTree(tree)).ok());
+}
+
+TEST(TreesEqualTest, DetectsDifferences) {
+  DecisionTree a = SmallTree();
+  DecisionTree b = SmallTree();
+  EXPECT_TRUE(TreesEqual(a, b));
+  SplitTest changed;
+  changed.attr = 0;
+  changed.threshold = 99.0f;
+  b.SetSplit(b.root(), changed);
+  EXPECT_FALSE(TreesEqual(a, b));
+}
+
+TEST(TreesEqualTest, DetectsShapeDifference) {
+  DecisionTree a = SmallTree();
+  DecisionTree b = SmallTree();
+  b.MakeLeaf(b.node(b.root()).right);
+  b.CompactAfterPrune();
+  EXPECT_FALSE(TreesEqual(a, b));
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,306 @@
+// smptree command-line tool: generate benchmark data, train classifiers,
+// evaluate models, and export trees -- the full library workflow without
+// writing C++.
+//
+//   smptree_cli gen   --function 7 --attrs 32 --tuples 100000
+//                     --out data.csv --schema-out schema.txt
+//   smptree_cli train --schema schema.txt --data data.csv --algorithm mwk
+//                     --threads 4 --model model.tree [--prune cost] [--env disk]
+//   smptree_cli eval  --schema schema.txt --model model.tree --data test.csv
+//   smptree_cli show  --schema schema.txt --model model.tree --format dot
+//
+// Exit status is 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/classifier.h"
+#include "core/dot_export.h"
+#include "core/metrics.h"
+#include "core/sql_export.h"
+#include "core/tree_io.h"
+#include "data/csv.h"
+#include "data/schema_io.h"
+#include "data/synthetic.h"
+#include "util/string_util.h"
+
+namespace smptree {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+/// Like SMPTREE_ASSIGN_OR_RETURN but for the int-returning CLI handlers:
+/// prints the error and returns exit code 1.
+#define SMPTREE_ASSIGN_OR_RETURN_CLI(lhs, expr)                        \
+  SMPTREE_ASSIGN_OR_RETURN_CLI_IMPL_(SMPTREE_CONCAT_(_cli_, __LINE__), \
+                                     lhs, expr)
+#define SMPTREE_ASSIGN_OR_RETURN_CLI_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                       \
+  if (!tmp.ok()) return Fail(tmp.status().ToString());     \
+  lhs = std::move(tmp).value()
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: smptree_cli <gen|train|eval|show> [--flag value]...\n"
+               "  gen:   --function N [--classes K] [--attrs A] [--tuples N]\n"
+               "         [--seed S] [--noise P] --out DATA.csv [--schema-out F]\n"
+               "  train: --schema F --data F --model F [--algorithm serial|\n"
+               "         basic|fwk|mwk|subtree|rec] [--threads P] [--window K]\n"
+               "         [--subroutine basic|mwk] [--prune none|pessimistic|cost]\n"
+               "         [--env mem|disk] [--min-split N] [--max-levels N]\n"
+               "         [--criterion gini|entropy]\n"
+               "  eval:  --schema F --model F --data F\n"
+               "  show:  --schema F --model F [--format text|sql|dot]\n");
+  return 1;
+}
+
+Result<Flags> ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got '" + arg + "'");
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag " + arg + " needs a value");
+    }
+    flags[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string GetFlag(const Flags& flags, const std::string& name,
+                    const std::string& fallback = "") {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Result<int64_t> IntFlag(const Flags& flags, const std::string& name,
+                        int64_t fallback) {
+  const std::string raw = GetFlag(flags, name);
+  if (raw.empty()) return fallback;
+  int64_t v = 0;
+  if (!ParseInt64(raw, &v)) {
+    return Status::InvalidArgument("flag --" + name + ": bad integer '" +
+                                   raw + "'");
+  }
+  return v;
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "serial") return Algorithm::kSerial;
+  if (name == "basic") return Algorithm::kBasic;
+  if (name == "fwk") return Algorithm::kFwk;
+  if (name == "mwk") return Algorithm::kMwk;
+  if (name == "subtree") return Algorithm::kSubtree;
+  if (name == "rec") return Algorithm::kRecordParallel;
+  return Status::InvalidArgument("unknown algorithm '" + name + "'");
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << content;
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+int RunGen(const Flags& flags) {
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t function,
+                               IntFlag(flags, "function", 1));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t classes, IntFlag(flags, "classes", 2));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t attrs, IntFlag(flags, "attrs", 9));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t tuples, IntFlag(flags, "tuples", 1000));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t seed, IntFlag(flags, "seed", 42));
+  const std::string out_path = GetFlag(flags, "out");
+  if (out_path.empty()) return Fail("gen needs --out");
+  double noise = 0.0;
+  if (!GetFlag(flags, "noise").empty() &&
+      !ParseDouble(GetFlag(flags, "noise"), &noise)) {
+    return Fail("bad --noise");
+  }
+
+  Result<Dataset> data = [&]() -> Result<Dataset> {
+    if (classes > 2) {
+      MulticlassConfig cfg;
+      cfg.num_classes = static_cast<int>(classes);
+      cfg.num_attrs = static_cast<int>(attrs);
+      cfg.num_tuples = tuples;
+      cfg.seed = static_cast<uint64_t>(seed);
+      cfg.label_noise = noise;
+      return GenerateMulticlassSynthetic(cfg);
+    }
+    SyntheticConfig cfg;
+    cfg.function = static_cast<int>(function);
+    cfg.num_attrs = static_cast<int>(attrs);
+    cfg.num_tuples = tuples;
+    cfg.seed = static_cast<uint64_t>(seed);
+    cfg.label_noise = noise;
+    return GenerateSynthetic(cfg);
+  }();
+  if (!data.ok()) return Fail(data.status().ToString());
+
+  Status s = WriteCsv(*data, out_path);
+  if (!s.ok()) return Fail(s.ToString());
+  const std::string schema_out = GetFlag(flags, "schema-out");
+  if (!schema_out.empty()) {
+    s = WriteSchemaFile(data->schema(), schema_out);
+    if (!s.ok()) return Fail(s.ToString());
+  }
+  std::printf("wrote %lld tuples to %s\n",
+              static_cast<long long>(data->num_tuples()), out_path.c_str());
+  return 0;
+}
+
+Result<Dataset> LoadData(const Flags& flags) {
+  const std::string schema_path = GetFlag(flags, "schema");
+  const std::string data_path = GetFlag(flags, "data");
+  if (schema_path.empty() || data_path.empty()) {
+    return Status::InvalidArgument("--schema and --data are required");
+  }
+  SMPTREE_ASSIGN_OR_RETURN(Schema schema, ReadSchemaFile(schema_path));
+  return ReadCsv(schema, data_path);
+}
+
+int RunTrain(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status().ToString());
+  const std::string model_path = GetFlag(flags, "model");
+  if (model_path.empty()) return Fail("train needs --model");
+
+  ClassifierOptions options;
+  auto algorithm = ParseAlgorithm(GetFlag(flags, "algorithm", "mwk"));
+  if (!algorithm.ok()) return Fail(algorithm.status().ToString());
+  options.build.algorithm = *algorithm;
+  auto subroutine = ParseAlgorithm(GetFlag(flags, "subroutine", "basic"));
+  if (!subroutine.ok()) return Fail(subroutine.status().ToString());
+  options.build.subtree_subroutine = *subroutine;
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t threads, IntFlag(flags, "threads", 1));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t window, IntFlag(flags, "window", 4));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t min_split,
+                               IntFlag(flags, "min-split", 2));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t max_levels,
+                               IntFlag(flags, "max-levels", 0));
+  options.build.num_threads = static_cast<int>(threads);
+  options.build.window = static_cast<int>(window);
+  options.build.min_split = min_split;
+  options.build.max_levels = static_cast<int>(max_levels);
+  const std::string env_name = GetFlag(flags, "env", "mem");
+  if (env_name == "disk") {
+    options.build.env = Env::Posix();
+  } else if (env_name != "mem") {
+    return Fail("--env must be mem or disk");
+  }
+  const std::string criterion = GetFlag(flags, "criterion", "gini");
+  if (criterion == "entropy") {
+    options.build.gini.criterion = SplitCriterion::kEntropy;
+  } else if (criterion != "gini") {
+    return Fail("--criterion must be gini or entropy");
+  }
+  const std::string prune = GetFlag(flags, "prune", "none");
+  if (prune == "pessimistic") {
+    options.prune.method = PruneOptions::Method::kPessimistic;
+  } else if (prune == "cost") {
+    options.prune.method = PruneOptions::Method::kCostComplexity;
+  } else if (prune != "none") {
+    return Fail("--prune must be none, pessimistic or cost");
+  }
+
+  auto result = TrainClassifier(*data, options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  Status s = WriteFile(model_path, SerializeTree(*result->tree));
+  if (!s.ok()) return Fail(s.ToString());
+
+  const TrainStats& stats = result->stats;
+  std::printf(
+      "trained %s on %lld tuples: %.3fs total "
+      "(setup %.3f, sort %.3f, build %.3f, prune %.3f)\n"
+      "tree: %lld nodes, %d levels; %lld pruned; training accuracy %.4f\n"
+      "model written to %s\n",
+      AlgorithmName(options.build.algorithm),
+      static_cast<long long>(data->num_tuples()), stats.total_seconds,
+      stats.setup_seconds, stats.sort_seconds, stats.build_seconds,
+      stats.prune_seconds, static_cast<long long>(result->tree->num_nodes()),
+      result->tree->Stats().levels,
+      static_cast<long long>(stats.nodes_pruned),
+      TreeAccuracy(*result->tree, *data), model_path.c_str());
+  return 0;
+}
+
+Result<DecisionTree> LoadModel(const Flags& flags, const Schema& schema) {
+  const std::string model_path = GetFlag(flags, "model");
+  if (model_path.empty()) {
+    return Status::InvalidArgument("--model is required");
+  }
+  SMPTREE_ASSIGN_OR_RETURN(std::string text, ReadFile(model_path));
+  return DeserializeTree(schema, text);
+}
+
+int RunEval(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto tree = LoadModel(flags, data->schema());
+  if (!tree.ok()) return Fail(tree.status().ToString());
+  const ConfusionMatrix cm = EvaluateTree(*tree, *data);
+  std::printf("%s", cm.ToString(data->schema()).c_str());
+  return 0;
+}
+
+int RunShow(const Flags& flags) {
+  const std::string schema_path = GetFlag(flags, "schema");
+  if (schema_path.empty()) return Fail("show needs --schema");
+  auto schema = ReadSchemaFile(schema_path);
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  auto tree = LoadModel(flags, *schema);
+  if (!tree.ok()) return Fail(tree.status().ToString());
+
+  const std::string format = GetFlag(flags, "format", "text");
+  if (format == "text") {
+    std::printf("%s", tree->ToString().c_str());
+  } else if (format == "sql") {
+    std::printf("%s\n", TreeToSqlCase(*tree).c_str());
+  } else if (format == "dot") {
+    std::printf("%s", TreeToDot(*tree).c_str());
+  } else {
+    return Fail("--format must be text, sql or dot");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) {
+    Fail(flags.status().ToString());
+    return Usage();
+  }
+  if (command == "gen") return RunGen(*flags);
+  if (command == "train") return RunTrain(*flags);
+  if (command == "eval") return RunEval(*flags);
+  if (command == "show") return RunShow(*flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace smptree
+
+int main(int argc, char** argv) { return smptree::Main(argc, argv); }
