@@ -1,0 +1,37 @@
+# First-class sanitizer build modes. SMPTREE_SANITIZE selects a comma- (or
+# semicolon-) separated subset of {thread, address, undefined}; thread and
+# address are mutually exclusive. The `tsan` and `asan-ubsan` presets in
+# CMakePresets.json are the intended entry points; runtime options and
+# suppression files live under tools/sanitizers/.
+#
+# -fno-sanitize-recover=all turns every UBSan diagnostic into a hard
+# failure, so a ctest run cannot pass while printing reports.
+
+set(SMPTREE_SANITIZE "" CACHE STRING
+    "Sanitizers to compile and link with: comma-separated subset of thread,address,undefined")
+
+if(SMPTREE_SANITIZE)
+  string(REPLACE "," ";" _smptree_san_list "${SMPTREE_SANITIZE}")
+  set(_smptree_san_known thread address undefined)
+  foreach(_san IN LISTS _smptree_san_list)
+    if(NOT _san IN_LIST _smptree_san_known)
+      message(FATAL_ERROR
+          "SMPTREE_SANITIZE: unknown sanitizer '${_san}' "
+          "(expected a subset of: thread, address, undefined)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _smptree_san_list AND "address" IN_LIST _smptree_san_list)
+    message(FATAL_ERROR
+        "SMPTREE_SANITIZE: thread and address sanitizers cannot be combined")
+  endif()
+
+  list(REMOVE_DUPLICATES _smptree_san_list)
+  list(JOIN _smptree_san_list "," _smptree_san_arg)
+  add_compile_options(
+      -fsanitize=${_smptree_san_arg}
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all
+      -g)
+  add_link_options(-fsanitize=${_smptree_san_arg})
+  message(STATUS "smptree: building with -fsanitize=${_smptree_san_arg}")
+endif()

@@ -304,7 +304,7 @@ std::vector<LeafTask> BuildContext::CollectNextLevel(
     for (const LeafTask& leaf : level) {
       records += static_cast<int64_t>(leaf.seg.count);
     }
-    std::lock_guard<std::mutex> lock(trace_mutex_);
+    MutexLock lock(trace_mutex_);
     LevelTraceEntry& entry = trace_[depth];
     entry.level = depth;
     entry.leaves += static_cast<int64_t>(level.size());
@@ -326,7 +326,7 @@ std::vector<LeafTask> BuildContext::CollectNextLevel(
 }
 
 std::vector<LevelTraceEntry> BuildContext::LevelTrace() const {
-  std::lock_guard<std::mutex> lock(trace_mutex_);
+  MutexLock lock(trace_mutex_);
   std::vector<LevelTraceEntry> out;
   out.reserve(trace_.size());
   for (const auto& [depth, entry] : trace_) out.push_back(entry);

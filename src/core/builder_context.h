@@ -22,7 +22,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +31,7 @@
 #include "core/tree.h"
 #include "data/dataset.h"
 #include "storage/level_storage.h"
+#include "util/mutex.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -203,8 +203,8 @@ class BuildContext {
   SplitProbe probe_;
   int levels_built_ = 0;
 
-  mutable std::mutex trace_mutex_;
-  std::map<int, LevelTraceEntry> trace_;  // keyed by depth
+  mutable Mutex trace_mutex_;
+  std::map<int, LevelTraceEntry> trace_ GUARDED_BY(trace_mutex_);  // by depth
 };
 
 /// Picks a unique scratch directory for a build ("<base>/smptree-<n>").

@@ -17,7 +17,7 @@ DecisionTree::DecisionTree(Schema schema)
   }
 }
 
-DecisionTree::DecisionTree(DecisionTree&& other) noexcept
+DecisionTree::DecisionTree(DecisionTree&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
     : schema_(std::move(other.schema_)),
       chunks_(std::move(other.chunks_)),
       owned_chunks_(std::move(other.owned_chunks_)),
@@ -26,7 +26,8 @@ DecisionTree::DecisionTree(DecisionTree&& other) noexcept
   other.size_.store(0, std::memory_order_relaxed);
 }
 
-DecisionTree& DecisionTree::operator=(DecisionTree&& other) noexcept {
+DecisionTree& DecisionTree::operator=(DecisionTree&& other) noexcept
+    NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
     schema_ = std::move(other.schema_);
     chunks_ = std::move(other.chunks_);
@@ -68,7 +69,7 @@ void DecisionTree::ResetArena() {
 }
 
 NodeId DecisionTree::CreateRoot(const ClassHistogram& counts) {
-  std::lock_guard<std::mutex> lock(*grow_mutex_);
+  MutexLock lock(*grow_mutex_);
   assert(num_nodes() == 0);
   TreeNode root;
   root.depth = 0;
@@ -79,7 +80,7 @@ NodeId DecisionTree::CreateRoot(const ClassHistogram& counts) {
 
 NodeId DecisionTree::AddChild(NodeId parent, bool left_side,
                               const ClassHistogram& counts) {
-  std::lock_guard<std::mutex> lock(*grow_mutex_);
+  MutexLock lock(*grow_mutex_);
   assert(parent >= 0 && parent < num_nodes());
   TreeNode child;
   child.parent = parent;
@@ -127,7 +128,7 @@ void DecisionTree::CompactAfterPrune() {
   };
   copy(0, kInvalidNode);
 
-  std::lock_guard<std::mutex> lock(*grow_mutex_);
+  MutexLock lock(*grow_mutex_);
   ResetArena();
   for (TreeNode& n : kept) Append(std::move(n));
 }

@@ -14,7 +14,6 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "core/split.h"
 #include "data/dataset.h"
 #include "data/schema.h"
+#include "util/mutex.h"
 
 namespace smptree {
 
@@ -62,9 +62,12 @@ class DecisionTree {
   explicit DecisionTree(Schema schema);
 
   /// Movable (not copyable). Never move a tree that builder threads are
-  /// still growing.
-  DecisionTree(DecisionTree&& other) noexcept;
-  DecisionTree& operator=(DecisionTree&& other) noexcept;
+  /// still growing -- a move transfers exclusive ownership of the arena,
+  /// which is also why the moves are exempt from the thread-safety
+  /// analysis (there is no lock to track).
+  DecisionTree(DecisionTree&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
+  DecisionTree& operator=(DecisionTree&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS;
   DecisionTree(const DecisionTree&) = delete;
   DecisionTree& operator=(const DecisionTree&) = delete;
 
@@ -134,18 +137,19 @@ class DecisionTree {
   }
 
   /// Appends a node (arena slot + id) under grow_mutex_.
-  NodeId Append(TreeNode node);
+  NodeId Append(TreeNode node) REQUIRES(*grow_mutex_);
 
   /// Drops all nodes (used by CompactAfterPrune's rebuild).
-  void ResetArena();
+  void ResetArena() REQUIRES(*grow_mutex_);
 
   Schema schema_;
   // Heap-allocated so DecisionTree stays movable (builders never move a
   // tree while growing it).
   std::unique_ptr<std::array<std::atomic<TreeNode*>, kMaxChunks>> chunks_;
-  std::vector<std::unique_ptr<TreeNode[]>> owned_chunks_;
+  std::vector<std::unique_ptr<TreeNode[]>> owned_chunks_
+      GUARDED_BY(*grow_mutex_);
   std::atomic<int64_t> size_{0};
-  std::unique_ptr<std::mutex> grow_mutex_ = std::make_unique<std::mutex>();
+  std::unique_ptr<Mutex> grow_mutex_ = std::make_unique<Mutex>();
 };
 
 }  // namespace smptree

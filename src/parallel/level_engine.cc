@@ -7,7 +7,7 @@ namespace smptree {
 
 void ErrorSink::Record(const Status& status) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (first_.ok()) {
     first_ = status;
     aborted_.store(true, std::memory_order_release);
@@ -15,7 +15,7 @@ void ErrorSink::Record(const Status& status) {
 }
 
 Status ErrorSink::status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return first_;
 }
 

@@ -11,9 +11,9 @@
 #define SMPTREE_PARALLEL_LEVEL_ENGINE_H_
 
 #include <functional>
-#include <mutex>
 
 #include "util/barrier.h"
+#include "util/mutex.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -24,17 +24,20 @@ namespace smptree {
 class ErrorSink {
  public:
   /// Records `status` if it is the first failure. OK statuses are ignored.
-  void Record(const Status& status);
+  void Record(const Status& status) EXCLUDES(mutex_);
 
-  /// True once any thread recorded a failure.
+  /// True once any thread recorded a failure. The release store inside
+  /// Record() pairs with this acquire load, so a peer that observes
+  /// aborted() == true also observes every write the failing thread made
+  /// before recording.
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   /// The first recorded failure, or OK.
-  Status status() const;
+  Status status() const EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  Status first_;
+  mutable Mutex mutex_;
+  Status first_ GUARDED_BY(mutex_);
   std::atomic<bool> aborted_{false};
 };
 
@@ -48,7 +51,18 @@ Status RunThreadTeam(int num_threads, ErrorSink* sink,
 /// build counters.
 bool TimedBarrierWait(Barrier* barrier, BuildCounters* counters);
 
-/// Measures one blocked wait (condition variables) into the counters.
+/// Accounts one *actual* blocked condition-variable wait into the counters.
+/// Construct it only after the wait predicate was checked false while
+/// holding the lock -- at that point the upcoming CondVar::Wait is
+/// guaranteed to block, because the predicate can only flip under the same
+/// lock. The fast path where the predicate is already true must not create
+/// a WaitTimer (and therefore records nothing):
+///
+///   MutexLock lock(mu_);
+///   if (!ready_) {
+///     WaitTimer wt(counters);
+///     while (!ready_) cv_.Wait(mu_);
+///   }
 class WaitTimer {
  public:
   explicit WaitTimer(BuildCounters* counters) : counters_(counters) {}
@@ -58,6 +72,9 @@ class WaitTimer {
         static_cast<uint64_t>(timer_.Seconds() * 1e9),
         std::memory_order_relaxed);
   }
+
+  WaitTimer(const WaitTimer&) = delete;
+  WaitTimer& operator=(const WaitTimer&) = delete;
 
  private:
   BuildCounters* counters_;

@@ -3,7 +3,10 @@
 namespace smptree {
 
 void MwkPipeline::Arm(size_t leaves) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  SMPTREE_DCHECK(pending_ == 0,
+                 "MwkPipeline re-armed while leaves of the previous level "
+                 "are still unprocessed");
   w_done_.assign(leaves, 0);
   pending_ = leaves;
   // A level with no leaves has no last W-finisher to open the gate.
@@ -11,31 +14,58 @@ void MwkPipeline::Arm(size_t leaves) {
 }
 
 void MwkPipeline::WaitForLeaf(size_t idx, BuildCounters* counters) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  SMPTREE_DCHECK(idx < w_done_.size(),
+                 "MwkPipeline::WaitForLeaf on a leaf index outside the "
+                 "armed level");
   if (w_done_[idx]) return;
   WaitTimer wt(counters);
-  cv_.wait(lock, [&] { return w_done_[idx] != 0; });
+  while (!w_done_[idx]) cv_.Wait(mu_);
 }
 
 bool MwkPipeline::MarkDone(size_t idx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  SMPTREE_DCHECK(idx < w_done_.size(),
+                 "MwkPipeline::MarkDone on a leaf index outside the armed "
+                 "level");
+  SMPTREE_DCHECK(!w_done_[idx],
+                 "MwkPipeline::MarkDone called twice for the same leaf (two "
+                 "threads claimed the last-finisher role)");
+  SMPTREE_DCHECK(pending_ > 0,
+                 "MwkPipeline::MarkDone after every leaf of the level was "
+                 "already processed");
   w_done_[idx] = 1;
   const bool last = --pending_ == 0;
-  cv_.notify_all();  // wakes WaitForLeaf sleepers; the gate stays shut
+  cv_.NotifyAll();  // wakes WaitForLeaf sleepers; the gate stays shut
   return last;
 }
 
 void MwkPipeline::OpenGate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  SMPTREE_DCHECK(pending_ == 0,
+                 "MwkPipeline gate opened before every leaf's W completed");
+  SMPTREE_DCHECK(!gate_open_,
+                 "MwkPipeline gate opened twice in one level");
   gate_open_ = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void MwkPipeline::WaitGate(BuildCounters* counters) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (gate_open_) return;
   WaitTimer wt(counters);
-  cv_.wait(lock, [&] { return gate_open_; });
+  while (!gate_open_) cv_.Wait(mu_);
+}
+
+void MwkPipeline::AssertProcessed(size_t idx) {
+#if SMPTREE_DEBUG_CHECKS
+  MutexLock lock(mu_);
+  SMPTREE_DCHECK(idx < w_done_.size() && w_done_[idx],
+                 "MWK slot-ordering violation: a leaf of window block b was "
+                 "evaluated before its block b-1 slot sibling was processed");
+#else
+  (void)idx;
+#endif
 }
 
 void MwkLevelState::Arm(const std::vector<LeafTask>& level, int num_attrs) {
@@ -67,6 +97,7 @@ void MwkLevelState::RunLevel(BuildContext* ctx, std::vector<LeafTask>* level,
         pipeline_.WaitForLeaf(dep, counters);
         waited_for = dep + 1;
       }
+      pipeline_.AssertProcessed(dep);
     }
     if (!sink->aborted()) {
       sink->Record(

@@ -11,19 +11,24 @@
 //   one thread calls Arm(...) while the team is quiescent;
 //   every team member then calls RunLevel(...) exactly once;
 //   the caller synchronizes the team (its own barrier) before the next Arm.
+//
+// Slot-ordering invariant (enforced by the debug checker): leaf i of the
+// level shares its slot file with leaf i-K (the same slot of the previous
+// window block), so leaf i may only be evaluated after leaf i-K was
+// processed -- its W complete and its slot file free for reuse.
 
 #ifndef SMPTREE_PARALLEL_MWK_LEVEL_H_
 #define SMPTREE_PARALLEL_MWK_LEVEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/builder_context.h"
 #include "parallel/level_engine.h"
 #include "parallel/scheduler.h"
+#include "util/debug_checks.h"
+#include "util/mutex.h"
 
 namespace smptree {
 
@@ -31,25 +36,30 @@ namespace smptree {
 /// processed (W complete) and the gate the split phase waits behind.
 class MwkPipeline {
  public:
-  void Arm(size_t leaves);
+  void Arm(size_t leaves) EXCLUDES(mu_);
 
-  /// Blocks until leaf `idx` has been processed (its W is complete).
-  void WaitForLeaf(size_t idx, BuildCounters* counters);
+  /// Blocks until leaf `idx` has been processed (its W is complete). Only
+  /// an actual blocked wait is accounted into `counters`.
+  void WaitForLeaf(size_t idx, BuildCounters* counters) EXCLUDES(mu_);
 
   /// Marks leaf `idx` processed; returns true for the level's last leaf.
   /// The caller owning that `true` must call OpenGate() after laying out
   /// the children.
-  bool MarkDone(size_t idx);
+  bool MarkDone(size_t idx) EXCLUDES(mu_);
 
-  void OpenGate();
-  void WaitGate(BuildCounters* counters);
+  void OpenGate() EXCLUDES(mu_);
+  void WaitGate(BuildCounters* counters) EXCLUDES(mu_);
+
+  /// Debug-only (no-op in release): asserts leaf `idx` was processed, i.e.
+  /// its slot file may be reused by the leaf one window-block later.
+  void AssertProcessed(size_t idx) EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<char> w_done_;
-  size_t pending_ = 0;
-  bool gate_open_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<char> w_done_ GUARDED_BY(mu_);
+  size_t pending_ GUARDED_BY(mu_) = 0;
+  bool gate_open_ GUARDED_BY(mu_) = false;
 };
 
 /// One MWK level, executable by a cooperating team of threads.

@@ -9,9 +9,20 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/debug_checks.h"
+
 namespace smptree {
 
 /// Hands out indices [0, limit) exactly once across threads.
+///
+/// Synchronization contract: Reset() may only run while no thread is inside
+/// Next() -- the builders guarantee this by re-arming only between phase
+/// barriers (or behind the MWK gate). The contract makes Reset/Next ordering
+/// a non-issue for correctness, but `limit_` is still an atomic so the
+/// object stays data-race-free at the memory-model level (relaxed order
+/// suffices: the phase barrier provides the happens-before edge). The debug
+/// invariant checker enforces the contract: a Reset() overlapping an
+/// in-flight Next() aborts in debug builds.
 class DynamicScheduler {
  public:
   DynamicScheduler() = default;
@@ -19,21 +30,24 @@ class DynamicScheduler {
   /// Re-arms the scheduler for a new phase with `limit` tasks. Must be
   /// called while no thread is pulling (between phase barriers).
   void Reset(int64_t limit) {
-    limit_ = limit;
+    debug::ExclusiveScope quiescent(pull_check_);
+    limit_.store(limit, std::memory_order_relaxed);
     next_.store(0, std::memory_order_relaxed);
   }
 
   /// Returns the next task index, or -1 when exhausted.
   int64_t Next() {
+    debug::SharedScope pulling(pull_check_);
     const int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    return i < limit_ ? i : -1;
+    return i < limit_.load(std::memory_order_relaxed) ? i : -1;
   }
 
-  int64_t limit() const { return limit_; }
+  int64_t limit() const { return limit_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<int64_t> next_{0};
-  int64_t limit_ = 0;
+  std::atomic<int64_t> limit_{0};
+  debug::SharedExclusiveCheck pull_check_{"DynamicScheduler Reset vs Next"};
 };
 
 }  // namespace smptree

@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
 #include "parallel/level_engine.h"
 #include "parallel/mwk_level.h"
 #include "parallel/scheduler.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
 
 namespace smptree {
@@ -28,9 +27,9 @@ struct Group {
 
   // Post-level decision handshake: non-masters sleep here until the master
   // has regrouped everyone.
-  std::mutex mu;
-  std::condition_variable cv;
-  bool decision_ready = false;
+  Mutex mu;
+  CondVar cv;
+  bool decision_ready GUARDED_BY(mu) = false;
 
   int master() const { return members[0]; }
 };
@@ -38,13 +37,13 @@ struct Group {
 /// Global coordination: the FREE queue of idle processors and the per-thread
 /// next-group mailbox.
 struct Coordinator {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<int> free_queue;
-  std::vector<std::shared_ptr<Group>> mailbox;  // per thread id
-  int active_groups = 1;
-  bool done = false;
-  uint64_t group_seq = 0;
+  Mutex mu;
+  CondVar cv;
+  std::vector<int> free_queue GUARDED_BY(mu);
+  std::vector<std::shared_ptr<Group>> mailbox GUARDED_BY(mu);  // per thread id
+  int active_groups GUARDED_BY(mu) = 1;
+  bool done GUARDED_BY(mu) = false;
+  uint64_t group_seq GUARDED_BY(mu) = 0;
 };
 
 std::shared_ptr<Group> NewGroup(BuildContext* ctx, std::vector<int> members,
@@ -153,7 +152,10 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
   ErrorSink sink;
 
   Coordinator coord;
-  coord.mailbox.resize(threads);
+  {
+    MutexLock lock(coord.mu);
+    coord.mailbox.resize(threads);
+  }
 
   if (level.empty()) return Status::OK();
 
@@ -164,6 +166,7 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
     std::vector<int> all(threads);
     for (int t = 0; t < threads; ++t) all[t] = t;
     auto root = NewGroup(ctx, std::move(all), std::move(level), nullptr);
+    MutexLock lock(coord.mu);
     for (int t = 0; t < threads; ++t) coord.mailbox[t] = root;
   }
 
@@ -181,7 +184,7 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
       if (s.ok()) next = ctx->CollectNextLevel(g->level);
     }
 
-    std::lock_guard<std::mutex> lock(coord.mu);
+    MutexLock lock(coord.mu);
     if (sink.aborted()) next.clear();
 
     if (next.empty()) {
@@ -191,7 +194,7 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
       if (--coord.active_groups == 0) {
         coord.done = true;
       }
-      coord.cv.notify_all();
+      coord.cv.NotifyAll();
     } else {
       // Grab everyone waiting in the FREE queue (paper: "the group master
       // checks if there are any new arrivals in the FREE queue and grabs
@@ -253,36 +256,39 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
         for (int m : left_group->members) coord.mailbox[m] = left_group;
         for (int m : right_group->members) coord.mailbox[m] = right_group;
       }
-      coord.cv.notify_all();  // wakes grabbed FREE-queue processors
+      coord.cv.NotifyAll();  // wakes grabbed FREE-queue processors
     }
 
     // Release the old group's members from the decision handshake.
     {
-      std::lock_guard<std::mutex> glock(g->mu);
+      MutexLock glock(g->mu);
       g->decision_ready = true;
     }
-    g->cv.notify_all();
+    g->cv.NotifyAll();
   };
 
   auto worker = [&](int tid) {
     GiniScratch scratch;
     std::shared_ptr<Group> g;
     {
-      std::lock_guard<std::mutex> lock(coord.mu);
+      MutexLock lock(coord.mu);
       g = std::move(coord.mailbox[tid]);
     }
     for (;;) {
       if (!g) {
         // Idle: park in the FREE queue until some master grabs us (or the
         // build finishes).
-        std::unique_lock<std::mutex> lock(coord.mu);
+        MutexLock lock(coord.mu);
         coord.free_queue.push_back(tid);
         counters->free_queue_rounds.fetch_add(1, std::memory_order_relaxed);
-        {
+        if (coord.mailbox[tid] == nullptr && !coord.done) {
+          // The predicate can only flip under coord.mu, so checking it
+          // false here means the wait below really blocks (WaitTimer
+          // records actual blocked waits only).
           WaitTimer wt(counters);
-          coord.cv.wait(lock, [&] {
-            return coord.mailbox[tid] != nullptr || coord.done;
-          });
+          while (coord.mailbox[tid] == nullptr && !coord.done) {
+            coord.cv.Wait(coord.mu);
+          }
         }
         if (coord.mailbox[tid] == nullptr) {
           // done, and nobody grabbed us: drop out of the queue if still in.
@@ -302,15 +308,15 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
       if (tid == g->master()) {
         master_decide(g);
       } else {
-        std::unique_lock<std::mutex> glock(g->mu);
+        MutexLock glock(g->mu);
         if (!g->decision_ready) {
           WaitTimer wt(counters);
-          g->cv.wait(glock, [&] { return g->decision_ready; });
+          while (!g->decision_ready) g->cv.Wait(g->mu);
         }
       }
 
       {
-        std::lock_guard<std::mutex> lock(coord.mu);
+        MutexLock lock(coord.mu);
         g = std::move(coord.mailbox[tid]);
       }
     }

@@ -28,18 +28,23 @@ Status PageCache::Read(uint64_t file_id, uint64_t generation,
         std::min<uint64_t>(end - pos, page_size_ - in_page);
 
     const Key key{file_id, generation, page};
-    std::unique_lock<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second);  // touch
-      std::memcpy(dst, it->second->data.data() + in_page, take);
-    } else {
-      ++stats_.misses;
+    bool hit = false;
+    {
+      MutexLock lock(mutex_);
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);  // touch
+        std::memcpy(dst, it->second->data.data() + in_page, take);
+        hit = true;
+      } else {
+        ++stats_.misses;
+      }
+    }
+    if (!hit) {
       // Load outside the lock: a page load is a real base-Env read and may
       // be slow. A racing loader for the same page just does duplicate
-      // work; last insert wins (contents are identical -- append-only).
-      lock.unlock();
+      // work; first insert wins (contents are identical -- append-only).
       const size_t want = static_cast<size_t>(
           std::min<uint64_t>(page_size_, file_size - page_offset));
       std::vector<char> buf;
@@ -48,7 +53,7 @@ Status PageCache::Read(uint64_t file_id, uint64_t generation,
         return Status::IOError("page loader returned short page");
       }
       std::memcpy(dst, buf.data() + in_page, take);
-      lock.lock();
+      MutexLock lock(mutex_);
       stats_.bytes_from_base += buf.size();
       if (index_.find(key) == index_.end()) {
         lru_.push_front(Entry{key, std::move(buf)});
@@ -76,7 +81,7 @@ void PageCache::EvictIfNeeded() {
 void PageCache::InvalidatePage(uint64_t file_id, uint64_t generation,
                                uint64_t page_index) {
   const Key key{file_id, generation, page_index};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) return;
   used_bytes_ -= it->second->data.size();
@@ -85,7 +90,7 @@ void PageCache::InvalidatePage(uint64_t file_id, uint64_t generation,
 }
 
 CacheStats PageCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -26,12 +26,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/env.h"
+#include "util/mutex.h"
 
 namespace smptree {
 
@@ -67,9 +67,9 @@ class PageCache {
 
   /// Drops one page (the appended-to tail page).
   void InvalidatePage(uint64_t file_id, uint64_t generation,
-                      uint64_t page_index);
+                      uint64_t page_index) EXCLUDES(mutex_);
 
-  CacheStats GetStats() const;
+  CacheStats GetStats() const EXCLUDES(mutex_);
 
  private:
   struct Key {
@@ -94,16 +94,17 @@ class PageCache {
     std::vector<char> data;
   };
 
-  void EvictIfNeeded();  // holds mutex_
+  void EvictIfNeeded() REQUIRES(mutex_);
 
   const size_t capacity_bytes_;
   const size_t page_size_;
 
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  size_t used_bytes_ = 0;
-  CacheStats stats_;
+  mutable Mutex mutex_;
+  std::list<Entry> lru_ GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      GUARDED_BY(mutex_);
+  size_t used_bytes_ GUARDED_BY(mutex_) = 0;
+  CacheStats stats_ GUARDED_BY(mutex_);
 };
 
 /// The Env wrapper. Does not own `base`.

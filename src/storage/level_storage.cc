@@ -56,6 +56,8 @@ Status LevelStorage::Create(Env* env, const std::string& dir,
   ls->prefix_ = prefix;
   ls->num_attrs_ = num_attrs;
   ls->num_slots_ = num_slots;
+  ls->attr_writer_check_ =
+      std::make_unique<debug::SharedExclusiveCheck[]>(num_attrs);
   SMPTREE_RETURN_IF_ERROR(env->CreateDir(dir));
   SMPTREE_RETURN_IF_ERROR(FileSet::Create(env, dir, prefix + ".cur",
                                           num_attrs, num_slots, &ls->current_));
@@ -78,6 +80,8 @@ Status LevelStorage::CreateBorrowing(Env* env, const std::string& dir,
   ls->prefix_ = prefix;
   ls->num_attrs_ = num_attrs;
   ls->num_slots_ = num_slots;
+  ls->attr_writer_check_ =
+      std::make_unique<debug::SharedExclusiveCheck[]>(num_attrs);
   ls->borrowing_ = true;
   SMPTREE_RETURN_IF_ERROR(env->CreateDir(dir));
   ls->current_ = std::move(borrowed);
@@ -91,6 +95,8 @@ Status LevelStorage::CreateBorrowing(Env* env, const std::string& dir,
 
 Status LevelStorage::AppendRoot(int attr, std::span<const AttrRecord> records) {
   assert(!borrowing_);
+  debug::SharedScope io(phase_check_);
+  debug::ExclusiveScope writer(attr_writer_check_[attr]);
   records_written_.fetch_add(records.size(), std::memory_order_relaxed);
   return current_->file(attr, 0)->Append(records);
 }
@@ -99,22 +105,29 @@ Status LevelStorage::FinishRootLoad() { return current_->FlushAll(); }
 
 Status LevelStorage::ReadSegment(int attr, const Segment& seg,
                                  SegmentBuffer* buf) {
+  debug::SharedScope io(phase_check_);
   records_read_.fetch_add(seg.count, std::memory_order_relaxed);
   return current_->file(attr, seg.slot)->ReadSegment(seg.offset, seg.count, buf);
 }
 
 Status LevelStorage::AppendChild(int attr, int slot,
                                  std::span<const AttrRecord> records) {
+  debug::SharedScope io(phase_check_);
+  debug::ExclusiveScope writer(attr_writer_check_[attr]);
   records_written_.fetch_add(records.size(), std::memory_order_relaxed);
   return alternate_->file(attr, slot)->Append(records);
 }
 
 Status LevelStorage::AppendChild(int attr, int slot, const AttrRecord& record) {
+  debug::SharedScope io(phase_check_);
+  debug::ExclusiveScope writer(attr_writer_check_[attr]);
   records_written_.fetch_add(1, std::memory_order_relaxed);
   return alternate_->file(attr, slot)->Append(record);
 }
 
 Status LevelStorage::FlushAlternate(int attr) {
+  debug::SharedScope io(phase_check_);
+  debug::ExclusiveScope writer(attr_writer_check_[attr]);
   for (int s = 0; s < num_slots_; ++s) {
     SMPTREE_RETURN_IF_ERROR(alternate_->file(attr, s)->Flush());
   }
@@ -122,6 +135,7 @@ Status LevelStorage::FlushAlternate(int attr) {
 }
 
 Status LevelStorage::AdvanceLevel() {
+  debug::ExclusiveScope quiescent(phase_check_);
   SMPTREE_RETURN_IF_ERROR(alternate_->FlushAll());
   if (borrowing_) {
     // Release the parent group's set (siblings may still be reading it; the

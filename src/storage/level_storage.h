@@ -18,10 +18,13 @@
 // precompute offsets from per-slot running totals, so the split phase can
 // append each attribute's records independently with no coordination.
 //
-// Concurrency contract (enforced by the builders' phase structure):
+// Concurrency contract (enforced by the builders' phase structure, and
+// asserted at runtime by the debug invariant checker -- a violation aborts
+// in debug builds):
 //   * ReadSegment on the current set: any number of concurrent readers.
-//   * AppendChild on the alternate set: one thread per attribute at a time.
-//   * AdvanceLevel: exclusive.
+//   * AppendChild / FlushAlternate on the alternate set: one thread per
+//     attribute at a time.
+//   * AdvanceLevel: exclusive -- no concurrent reads or appends anywhere.
 
 #ifndef SMPTREE_STORAGE_LEVEL_STORAGE_H_
 #define SMPTREE_STORAGE_LEVEL_STORAGE_H_
@@ -33,6 +36,7 @@
 #include <vector>
 
 #include "storage/record_file.h"
+#include "util/debug_checks.h"
 
 namespace smptree {
 
@@ -152,6 +156,12 @@ class LevelStorage {
 
   std::atomic<uint64_t> records_read_{0};
   std::atomic<uint64_t> records_written_{0};
+
+  // Debug invariant checker state (no-ops in release): AdvanceLevel must
+  // not overlap any read or append, and each attribute has at most one
+  // appender at a time.
+  debug::SharedExclusiveCheck phase_check_{"LevelStorage AdvanceLevel vs I/O"};
+  std::unique_ptr<debug::SharedExclusiveCheck[]> attr_writer_check_;
 };
 
 }  // namespace smptree

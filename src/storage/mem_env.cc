@@ -5,10 +5,10 @@
 
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "storage/env.h"
+#include "util/mutex.h"
 
 namespace smptree {
 
@@ -27,7 +27,7 @@ namespace {
 class MemFileData {
  public:
   Status Read(uint64_t offset, size_t n, void* out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (offset + n > data_.size()) {
       return Status::IOError("short read from in-memory file");
     }
@@ -36,7 +36,7 @@ class MemFileData {
   }
 
   Status ReadView(uint64_t offset, size_t n, const char** view) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (offset + n > data_.size()) {
       return Status::IOError("short view of in-memory file");
     }
@@ -45,26 +45,26 @@ class MemFileData {
   }
 
   Status Append(const void* data, size_t n) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     data_.insert(data_.end(), static_cast<const char*>(data),
                  static_cast<const char*>(data) + n);
     return Status::OK();
   }
 
   Status Truncate() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     data_.clear();
     return Status::OK();
   }
 
   uint64_t Size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return data_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<char> data_;
+  mutable Mutex mutex_;
+  std::vector<char> data_ GUARDED_BY(mutex_);
 };
 
 class MemFile final : public File {
@@ -90,7 +90,7 @@ class MemFile final : public File {
 class MemEnv final : public Env {
  public:
   Status NewFile(const std::string& path, std::unique_ptr<File>* out) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto& slot = files_[path];
     slot = std::make_shared<MemFileData>();
     *out = std::make_unique<MemFile>(slot);
@@ -98,20 +98,20 @@ class MemEnv final : public Env {
   }
 
   Status DeleteFile(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (files_.erase(path) == 0) return Status::NotFound(path);
     return Status::OK();
   }
 
   bool FileExists(const std::string& path) const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return files_.count(path) > 0;
   }
 
   Status CreateDir(const std::string&) override { return Status::OK(); }
 
   Status RemoveDirRecursive(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::string prefix = path.back() == '/' ? path : path + "/";
     for (auto it = files_.begin(); it != files_.end();) {
       if (it->first.rfind(prefix, 0) == 0) {
@@ -126,8 +126,9 @@ class MemEnv final : public Env {
   std::string Name() const override { return "mem"; }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace

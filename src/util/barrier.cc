@@ -9,15 +9,31 @@ Barrier::Barrier(int participants) : participants_(participants) {
 }
 
 bool Barrier::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
+#if SMPTREE_DEBUG_CHECKS
+  ++inside_;
+  SMPTREE_DCHECK(inside_ <= participants_,
+                 "barrier epoch violation: a thread entered a barrier phase "
+                 "its peers have not left (more threads inside Wait than "
+                 "participants)");
+#endif
   const uint64_t my_generation = generation_;
   if (++arrived_ == participants_) {
     arrived_ = 0;
     ++generation_;
-    cv_.notify_all();
+    cv_.NotifyAll();
+#if SMPTREE_DEBUG_CHECKS
+    --inside_;
+#endif
     return true;
   }
-  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  while (generation_ == my_generation) cv_.Wait(mutex_);
+  SMPTREE_DCHECK(generation_ == my_generation + 1,
+                 "barrier epoch violation: a waiter slept through more than "
+                 "one phase (generation advanced twice before it woke)");
+#if SMPTREE_DEBUG_CHECKS
+  --inside_;
+#endif
   return false;
 }
 
@@ -26,18 +42,20 @@ CountdownGate::CountdownGate(int count) : remaining_(count) {
 }
 
 void CountdownGate::CountDown() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  assert(remaining_ > 0);
-  if (--remaining_ == 0) cv_.notify_all();
+  MutexLock lock(mutex_);
+  SMPTREE_DCHECK(remaining_ > 0,
+                 "CountdownGate::CountDown called more times than the gate's "
+                 "initial count");
+  if (--remaining_ == 0) cv_.NotifyAll();
 }
 
 void CountdownGate::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return remaining_ == 0; });
+  MutexLock lock(mutex_);
+  while (remaining_ != 0) cv_.Wait(mutex_);
 }
 
 bool CountdownGate::IsOpen() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return remaining_ == 0;
 }
 

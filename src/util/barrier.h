@@ -3,15 +3,21 @@
 // Barrier       - reusable counting barrier for a fixed participant count
 //                 (the paper's per-phase and per-block barriers).
 // CountdownGate - one-shot "N events then open" latch with waiters.
-// SyncStats     - per-thread accounting of time spent blocked, used by the
-//                 benchmarks to report synchronization overhead.
+//
+// Both classes carry Clang thread-safety annotations (via the wrappers in
+// util/mutex.h) and, in debug builds, barrier-epoch assertions: a barrier
+// for P participants can never have more than P threads inside Wait() at
+// once (a P+1st entry means a thread re-entered a phase its peers have not
+// left -- a foreign thread, or a double Wait), and a released waiter must
+// find itself exactly one generation ahead of where it went to sleep.
 
 #ifndef SMPTREE_UTIL_BARRIER_H_
 #define SMPTREE_UTIL_BARRIER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "util/debug_checks.h"
+#include "util/mutex.h"
 
 namespace smptree {
 
@@ -27,16 +33,19 @@ class Barrier {
 
   /// Blocks until all participants arrive. Returns true for exactly one
   /// caller per phase (the "serial" thread, useful for master-only work).
-  bool Wait();
+  bool Wait() EXCLUDES(mutex_);
 
   int participants() const { return participants_; }
 
  private:
   const int participants_;
-  int arrived_ = 0;
-  uint64_t generation_ = 0;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
+  int arrived_ GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ GUARDED_BY(mutex_) = 0;
+#if SMPTREE_DEBUG_CHECKS
+  int inside_ GUARDED_BY(mutex_) = 0;  ///< threads currently within Wait()
+#endif
 };
 
 /// One-shot latch: opens after `count` calls to CountDown(); Wait() blocks
@@ -45,14 +54,14 @@ class CountdownGate {
  public:
   explicit CountdownGate(int count);
 
-  void CountDown();
-  void Wait();
-  bool IsOpen();
+  void CountDown() EXCLUDES(mutex_);
+  void Wait() EXCLUDES(mutex_);
+  bool IsOpen() EXCLUDES(mutex_);
 
  private:
-  int remaining_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
+  int remaining_ GUARDED_BY(mutex_);
 };
 
 }  // namespace smptree

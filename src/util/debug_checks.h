@@ -1,0 +1,161 @@
+// Debug-only concurrency invariant checks. The static thread-safety
+// analysis (util/thread_annotations.h) proves lock/field association; the
+// checks here catch the *protocol* bugs it cannot see -- phase overlap on
+// lock-free structures, barrier-epoch misuse, pipeline ordering violations.
+//
+// Everything in this header compiles to nothing in release builds
+// (SMPTREE_DEBUG_CHECKS == 0). The default follows NDEBUG; the `tsan` and
+// `asan-ubsan` CMake presets force the checks on so the sanitizer suites
+// also exercise the protocol assertions.
+//
+// A failed check prints the violated invariant and aborts: these are
+// programming errors in a builder's synchronization skeleton, never
+// recoverable runtime conditions.
+
+#ifndef SMPTREE_UTIL_DEBUG_CHECKS_H_
+#define SMPTREE_UTIL_DEBUG_CHECKS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(SMPTREE_DEBUG_CHECKS)
+#if defined(NDEBUG)
+#define SMPTREE_DEBUG_CHECKS 0
+#else
+#define SMPTREE_DEBUG_CHECKS 1
+#endif
+#endif
+
+namespace smptree {
+namespace debug {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const char* msg) {
+  std::fprintf(stderr, "%s:%d: invariant violated: %s (%s)\n", file, line,
+               msg, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace debug
+}  // namespace smptree
+
+/// Asserts a concurrency invariant in debug builds; compiled out in release.
+/// `msg` should name the violated protocol contract, not restate the
+/// expression.
+#if SMPTREE_DEBUG_CHECKS
+#define SMPTREE_DCHECK(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) ::smptree::debug::CheckFail(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+#else
+#define SMPTREE_DCHECK(cond, msg) ((void)0)
+#endif
+
+namespace smptree {
+namespace debug {
+
+#if SMPTREE_DEBUG_CHECKS
+
+/// Detects overlap between "shared" operations (any number may run
+/// concurrently) and "exclusive" operations (must be globally quiescent):
+/// the between-barriers contracts of DynamicScheduler::Reset and
+/// LevelStorage::AdvanceLevel, and the one-writer-per-attribute contract of
+/// LevelStorage::AppendChild. One atomic word: low bits count shared
+/// holders, the top bit marks an exclusive holder.
+class SharedExclusiveCheck {
+ public:
+  constexpr SharedExclusiveCheck() = default;
+  constexpr explicit SharedExclusiveCheck(const char* name) : name_(name) {}
+
+  SharedExclusiveCheck(const SharedExclusiveCheck&) = delete;
+  SharedExclusiveCheck& operator=(const SharedExclusiveCheck&) = delete;
+
+  void EnterShared() {
+    const uint64_t prev = word_.fetch_add(1, std::memory_order_acq_rel);
+    if ((prev & kExclusiveBit) != 0) {
+      Fail("shared operation entered while an exclusive operation runs");
+    }
+  }
+  void ExitShared() { word_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  void EnterExclusive() {
+    const uint64_t prev = word_.fetch_or(kExclusiveBit,
+                                         std::memory_order_acq_rel);
+    if (prev != 0) {
+      Fail((prev & kExclusiveBit) != 0
+               ? "two exclusive operations overlap"
+               : "exclusive operation entered with shared holders in flight");
+    }
+  }
+  void ExitExclusive() {
+    word_.fetch_and(~kExclusiveBit, std::memory_order_acq_rel);
+  }
+
+ private:
+  [[noreturn]] void Fail(const char* what) const {
+    std::fprintf(stderr, "SharedExclusiveCheck(%s): %s\n", name_, what);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  static constexpr uint64_t kExclusiveBit = uint64_t{1} << 63;
+  std::atomic<uint64_t> word_{0};
+  const char* name_ = "region";
+};
+
+#else  // !SMPTREE_DEBUG_CHECKS
+
+/// Release variant: every operation is a no-op the optimizer deletes.
+class SharedExclusiveCheck {
+ public:
+  constexpr SharedExclusiveCheck() = default;
+  constexpr explicit SharedExclusiveCheck(const char*) {}
+
+  SharedExclusiveCheck(const SharedExclusiveCheck&) = delete;
+  SharedExclusiveCheck& operator=(const SharedExclusiveCheck&) = delete;
+
+  void EnterShared() {}
+  void ExitShared() {}
+  void EnterExclusive() {}
+  void ExitExclusive() {}
+};
+
+#endif  // SMPTREE_DEBUG_CHECKS
+
+/// RAII shared participation in a SharedExclusiveCheck region.
+class SharedScope {
+ public:
+  explicit SharedScope(SharedExclusiveCheck& check) : check_(check) {
+    check_.EnterShared();
+  }
+  ~SharedScope() { check_.ExitShared(); }
+
+  SharedScope(const SharedScope&) = delete;
+  SharedScope& operator=(const SharedScope&) = delete;
+
+ private:
+  SharedExclusiveCheck& check_;
+};
+
+/// RAII exclusive occupancy of a SharedExclusiveCheck region.
+class ExclusiveScope {
+ public:
+  explicit ExclusiveScope(SharedExclusiveCheck& check) : check_(check) {
+    check_.EnterExclusive();
+  }
+  ~ExclusiveScope() { check_.ExitExclusive(); }
+
+  ExclusiveScope(const ExclusiveScope&) = delete;
+  ExclusiveScope& operator=(const ExclusiveScope&) = delete;
+
+ private:
+  SharedExclusiveCheck& check_;
+};
+
+}  // namespace debug
+}  // namespace smptree
+
+#endif  // SMPTREE_UTIL_DEBUG_CHECKS_H_

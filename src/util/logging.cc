@@ -3,13 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace smptree {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex;  // serializes stderr lines; guards no data
 
 const char* Tag(LogLevel level) {
   switch (level) {
@@ -47,7 +48,7 @@ LogMessage::~LogMessage() {
   const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now().time_since_epoch())
                        .count();
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "%lld %s\n", static_cast<long long>(now),
                stream_.str().c_str());
 }

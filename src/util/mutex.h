@@ -1,0 +1,84 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex and
+// std::condition_variable_any carrying the Clang thread-safety capability
+// attributes (util/thread_annotations.h), so `-Wthread-safety` can verify
+// the builders' locking protocols. libstdc++'s own types carry no
+// annotations, which is the only reason these wrappers exist -- they add no
+// behaviour.
+//
+// Usage pattern:
+//   Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//   CondVar cv_;
+//   ...
+//   MutexLock lock(mu_);            // scoped acquire
+//   while (!ready_) cv_.Wait(mu_);  // releases+reacquires mu_
+//
+// CondVar wraps std::condition_variable_any so it can wait on the annotated
+// Mutex directly (Mutex satisfies BasicLockable).
+
+#ifndef SMPTREE_UTIL_MUTEX_H_
+#define SMPTREE_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace smptree {
+
+/// Annotated exclusive mutex. Lowercase lock/unlock/try_lock keep it a
+/// standard Lockable so std::condition_variable_any can drive it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for Mutex (the annotated counterpart of std::lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with the annotated Mutex. Wait() must be called
+/// with the mutex held; it releases the mutex while blocked and reacquires
+/// it before returning, like std::condition_variable::wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One bare wakeup-or-spurious wait; callers loop on their predicate.
+  /// (The release+reacquire of `mu` happens inside condition_variable_any,
+  /// which the analysis cannot see; to the caller the lock state is
+  /// unchanged, which matches the REQUIRES contract.)
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_UTIL_MUTEX_H_

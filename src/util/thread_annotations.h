@@ -1,0 +1,77 @@
+// Clang thread-safety-analysis macros (-Wthread-safety). Under Clang the
+// annotations let the compiler statically verify the locking protocols the
+// builders rely on (which field is protected by which mutex, which functions
+// must -- or must not -- be called with a lock held). Under other compilers
+// every macro expands to nothing.
+//
+// The std::mutex / std::condition_variable types shipped by libstdc++ carry
+// no capability attributes, so the analysis cannot see through them; the
+// annotated wrappers in util/mutex.h exist for exactly that reason and are
+// what the lock-protected classes in this codebase use.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef SMPTREE_UTIL_THREAD_ANNOTATIONS_H_
+#define SMPTREE_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SMPTREE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SMPTREE_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define CAPABILITY(x) SMPTREE_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY SMPTREE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) SMPTREE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer member is protected by
+/// the given capability (the pointer itself is not).
+#define PT_GUARDED_BY(x) SMPTREE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the capability exclusively.
+#define REQUIRES(...) \
+  SMPTREE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while holding the capability shared.
+#define REQUIRES_SHARED(...) \
+  SMPTREE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  SMPTREE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SMPTREE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define RELEASE(...) \
+  SMPTREE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SMPTREE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  SMPTREE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the capability
+/// (deadlock-prevention annotation for self-locking public methods).
+#define EXCLUDES(...) SMPTREE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function checks at runtime that the capability is held.
+#define ASSERT_CAPABILITY(x) SMPTREE_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) SMPTREE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis (false-positive escape hatch; every
+/// use should carry a comment explaining why the analysis cannot see the
+/// synchronization).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SMPTREE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SMPTREE_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,143 @@
+// Tests for the debug concurrency invariant checker (util/debug_checks.h)
+// and its deployment in the MWK pipeline. The abort paths are death tests;
+// everything that needs SMPTREE_DEBUG_CHECKS skips itself when the checks
+// are compiled out (release builds) so the suite stays green everywhere.
+
+#include "util/debug_checks.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "parallel/mwk_level.h"
+#include "util/stats.h"
+
+namespace smptree {
+namespace {
+
+#if SMPTREE_DEBUG_CHECKS
+constexpr bool kChecksOn = true;
+#else
+constexpr bool kChecksOn = false;
+#endif
+
+#define SKIP_WITHOUT_CHECKS()                                       \
+  if (!kChecksOn) {                                                 \
+    GTEST_SKIP() << "SMPTREE_DEBUG_CHECKS compiled out";            \
+  }
+
+TEST(SharedExclusiveCheckTest, DisjointPhasesPass) {
+  debug::SharedExclusiveCheck check("test");
+  {
+    debug::SharedScope a(check);
+    debug::SharedScope b(check);  // shared holders may overlap
+  }
+  { debug::ExclusiveScope e(check); }
+  { debug::SharedScope c(check); }  // reusable after exclusive exits
+}
+
+TEST(SharedExclusiveCheckTest, ConcurrentSharedHoldersPass) {
+  debug::SharedExclusiveCheck check("test");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&check] {
+      for (int i = 0; i < 1000; ++i) {
+        debug::SharedScope s(check);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  debug::ExclusiveScope e(check);  // quiescent again
+}
+
+using SharedExclusiveCheckDeathTest = ::testing::Test;
+
+TEST(SharedExclusiveCheckDeathTest, ExclusiveDuringSharedAborts) {
+  SKIP_WITHOUT_CHECKS();
+  EXPECT_DEATH(
+      {
+        debug::SharedExclusiveCheck check("overlap");
+        check.EnterShared();
+        check.EnterExclusive();
+      },
+      "shared holders in flight");
+}
+
+TEST(SharedExclusiveCheckDeathTest, SharedDuringExclusiveAborts) {
+  SKIP_WITHOUT_CHECKS();
+  EXPECT_DEATH(
+      {
+        debug::SharedExclusiveCheck check("overlap");
+        check.EnterExclusive();
+        check.EnterShared();
+      },
+      "exclusive operation runs");
+}
+
+TEST(SharedExclusiveCheckDeathTest, TwoExclusivesAbort) {
+  SKIP_WITHOUT_CHECKS();
+  EXPECT_DEATH(
+      {
+        debug::SharedExclusiveCheck check("overlap");
+        check.EnterExclusive();
+        check.EnterExclusive();
+      },
+      "two exclusive operations overlap");
+}
+
+TEST(MwkPipelineDeathTest, DoubleMarkDoneAborts) {
+  SKIP_WITHOUT_CHECKS();
+  EXPECT_DEATH(
+      {
+        MwkPipeline p;
+        p.Arm(3);
+        p.MarkDone(1);
+        p.MarkDone(1);
+      },
+      "invariant violated");
+}
+
+TEST(MwkPipelineDeathTest, AssertProcessedOnUnprocessedLeafAborts) {
+  SKIP_WITHOUT_CHECKS();
+  EXPECT_DEATH(
+      {
+        MwkPipeline p;
+        p.Arm(4);
+        p.MarkDone(0);
+        p.AssertProcessed(1);  // slot of leaf 1 not yet free for reuse
+      },
+      "invariant violated");
+}
+
+TEST(MwkPipelineDeathTest, MarkDoneOutOfRangeAborts) {
+  SKIP_WITHOUT_CHECKS();
+  EXPECT_DEATH(
+      {
+        MwkPipeline p;
+        p.Arm(2);
+        p.MarkDone(2);
+      },
+      "invariant violated");
+}
+
+TEST(MwkPipelineTest, AssertProcessedPassesAfterMarkDone) {
+  MwkPipeline p;
+  p.Arm(2);
+  EXPECT_FALSE(p.MarkDone(0));
+  p.AssertProcessed(0);  // must not fire: leaf 0's W is complete
+  EXPECT_TRUE(p.MarkDone(1));
+}
+
+TEST(MwkPipelineTest, WaitForLeafReturnsOnceProcessed) {
+  MwkPipeline p;
+  p.Arm(2);
+  BuildCounters counters;
+  std::thread waiter([&] { p.WaitForLeaf(0, &counters); });
+  p.MarkDone(0);
+  waiter.join();
+  p.WaitForLeaf(0, &counters);  // already done: fast path, returns at once
+}
+
+}  // namespace
+}  // namespace smptree

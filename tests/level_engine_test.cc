@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "parallel/mwk_level.h"
 #include "parallel/scheduler.h"
 
 namespace smptree {
@@ -35,6 +37,41 @@ TEST(ErrorSinkTest, ConcurrentRecordsKeepExactlyOne) {
   for (auto& th : threads) th.join();
   EXPECT_TRUE(sink.aborted());
   EXPECT_TRUE(sink.status().IsAborted());
+}
+
+TEST(ErrorSinkTest, EarlierRecordWinsOverConcurrentLaterOnes) {
+  // Deterministic ordering: the first failure is recorded before any of the
+  // racing threads start, so whatever interleaving they produce, status()
+  // must still be the original one.
+  ErrorSink sink;
+  sink.Record(Status::IOError("original"));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&sink, t] {
+      sink.Record(Status::Corruption("late " + std::to_string(t)));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(sink.status().IsIOError());
+  EXPECT_EQ(sink.status().message(), "original");
+}
+
+TEST(ErrorSinkTest, AbortedPublishesPriorWrites) {
+  // aborted() is documented as an acquire load pairing with the release
+  // store in Record(): a peer that sees aborted() == true must also see
+  // every plain write the failing thread made before recording.
+  for (int round = 0; round < 100; ++round) {
+    ErrorSink sink;
+    int payload = 0;  // plain int on purpose: ordered only via the sink
+    std::thread writer([&] {
+      payload = 42;
+      sink.Record(Status::Internal("publish"));
+    });
+    while (!sink.aborted()) {
+    }
+    EXPECT_EQ(payload, 42);
+    writer.join();
+  }
 }
 
 TEST(RunThreadTeamTest, AllThreadsRun) {
@@ -84,6 +121,46 @@ TEST(TimedBarrierWaitTest, AccountsWaits) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(counters.barrier_waits.load(), 40u);
   EXPECT_EQ(serials.load(), 10);
+}
+
+TEST(WaitTimerTest, RecordsExactlyOneWaitWithElapsedTime) {
+  BuildCounters counters;
+  {
+    WaitTimer wt(&counters);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(counters.condvar_waits.load(), 1u);
+  EXPECT_GE(counters.wait_nanos.load(), 1'000'000u);  // at least 1ms of 5
+}
+
+TEST(WaitTimerTest, FastPathRecordsNothing) {
+  // The contract (see WaitTimer's doc comment): a wait whose predicate is
+  // already true must not construct a WaitTimer. MwkPipeline implements
+  // that contract, so waiting on an already-processed leaf and an
+  // already-open gate must leave the counters untouched.
+  MwkPipeline p;
+  p.Arm(1);
+  EXPECT_TRUE(p.MarkDone(0));
+  p.OpenGate();
+  BuildCounters counters;
+  p.WaitForLeaf(0, &counters);
+  p.WaitGate(&counters);
+  EXPECT_EQ(counters.condvar_waits.load(), 0u);
+  EXPECT_EQ(counters.wait_nanos.load(), 0u);
+}
+
+TEST(WaitTimerTest, BlockedWaitRecordsExactlyOne) {
+  // A wait that really blocks accounts exactly one condvar wait, no matter
+  // how many spurious wakeups the while-loop absorbs.
+  MwkPipeline p;
+  p.Arm(2);
+  BuildCounters counters;
+  std::thread waiter([&] { p.WaitForLeaf(1, &counters); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  p.MarkDone(1);
+  waiter.join();
+  EXPECT_EQ(counters.condvar_waits.load(), 1u);
+  EXPECT_GT(counters.wait_nanos.load(), 0u);
 }
 
 TEST(DynamicSchedulerTest, HandsOutEachIndexOnce) {
