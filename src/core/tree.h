@@ -5,6 +5,20 @@
 // concurrent W phases). Node creation is internally synchronized; node
 // *content* visibility across threads relies on the builders' barriers /
 // gates, which is how the algorithms already order W before S.
+//
+// Concurrent reads (the serving contract): once building and pruning are
+// done and the finished tree has been published to the reading threads with
+// the usual release/acquire handoff (e.g. via shared_ptr<const DecisionTree>
+// in serve/model_store.h), any number of threads may call the const reader
+// surface -- Classify, node(), root(), num_nodes(), Stats(), Validate(),
+// ToString() -- concurrently with no synchronization. This holds because
+// the readers are physically const: an audit (enforced by the
+// concurrent-reader tests in tree_test.cc) confirms none of them lazily
+// mutate state -- no memoized stats, no cached traversals, and
+// SplitTest::GoesLeft only reads the immutable subset/threshold. The only
+// mutating entry points are CreateRoot/AddChild/SetSplit/MakeLeaf/
+// CompactAfterPrune/mutable_node, none of which may run concurrently with
+// readers outside the builders' own ordering protocols.
 
 #ifndef SMPTREE_CORE_TREE_H_
 #define SMPTREE_CORE_TREE_H_
@@ -100,10 +114,13 @@ class DecisionTree {
     return size_.load(std::memory_order_acquire);
   }
 
-  /// Classifies one tuple by walking from the root.
+  /// Classifies one tuple by walking from the root. Safe for any number of
+  /// concurrent callers on a published, fully-built tree (see the
+  /// "Concurrent reads" contract above); touches no mutable state.
   ClassLabel Classify(const TupleValues& values) const;
 
   /// Classifies tuple `t` of `data` (columns must match the schema).
+  /// Concurrent-reader safe, like the TupleValues overload.
   ClassLabel Classify(const Dataset& data, int64_t tuple) const;
 
   TreeStats Stats() const;

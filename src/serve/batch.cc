@@ -1,0 +1,113 @@
+#include "serve/batch.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+void Batch::GatherTuple(int64_t tuple, TupleValues* out) const {
+  out->resize(columns_.size());
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    (*out)[a] = columns_[a][static_cast<size_t>(tuple)];
+  }
+}
+
+namespace {
+
+Result<AttrValue> ValueFromJson(const Schema& schema, int attr,
+                                const JsonValue& v, int64_t row) {
+  const AttrInfo& info = schema.attr(attr);
+  AttrValue out;
+  if (!info.is_categorical()) {
+    if (v.is_null()) {
+      out.f = kMissingValue;
+      return out;
+    }
+    if (!v.is_number()) {
+      return Status::InvalidArgument(StringPrintf(
+          "tuple %lld, attribute '%s': expected a number",
+          static_cast<long long>(row), info.name.c_str()));
+    }
+    out.f = static_cast<float>(v.number_value());
+    return out;
+  }
+  if (v.is_string()) {
+    for (int code = 0; code < static_cast<int>(info.value_names.size());
+         ++code) {
+      if (info.value_names[code] == v.string_value()) {
+        out.cat = code;
+        return out;
+      }
+    }
+    return Status::InvalidArgument(StringPrintf(
+        "tuple %lld, attribute '%s': unknown categorical value '%s'",
+        static_cast<long long>(row), info.name.c_str(),
+        v.string_value().c_str()));
+  }
+  if (v.is_number()) {
+    const double d = v.number_value();
+    const int code = static_cast<int>(d);
+    if (d != std::floor(d) || code < 0 || code >= info.cardinality) {
+      return Status::InvalidArgument(StringPrintf(
+          "tuple %lld, attribute '%s': categorical code out of range",
+          static_cast<long long>(row), info.name.c_str()));
+    }
+    out.cat = code;
+    return out;
+  }
+  return Status::InvalidArgument(StringPrintf(
+      "tuple %lld, attribute '%s': expected a code or value name",
+      static_cast<long long>(row), info.name.c_str()));
+}
+
+}  // namespace
+
+Result<Batch> Batch::FromJson(const Schema& schema, const JsonValue& doc) {
+  const JsonValue* tuples = doc.Find("tuples");
+  if (tuples == nullptr || !tuples->is_array()) {
+    return Status::InvalidArgument(
+        "request must be an object with a \"tuples\" array");
+  }
+  if (tuples->array_items().empty()) {
+    return Status::InvalidArgument("\"tuples\" is empty");
+  }
+  Batch batch;
+  const int num_attrs = schema.num_attrs();
+  batch.columns_.resize(static_cast<size_t>(num_attrs));
+  for (auto& col : batch.columns_) {
+    col.reserve(tuples->array_items().size());
+  }
+  int64_t row = 0;
+  for (const JsonValue& t : tuples->array_items()) {
+    if (!t.is_array() ||
+        static_cast<int>(t.array_items().size()) != num_attrs) {
+      return Status::InvalidArgument(StringPrintf(
+          "tuple %lld: expected an array of %d values",
+          static_cast<long long>(row), num_attrs));
+    }
+    for (int a = 0; a < num_attrs; ++a) {
+      SMPTREE_ASSIGN_OR_RETURN(
+          AttrValue v, ValueFromJson(schema, a, t.array_items()[a], row));
+      batch.columns_[static_cast<size_t>(a)].push_back(v);
+    }
+    ++row;
+  }
+  batch.num_tuples_ = row;
+  return batch;
+}
+
+Batch Batch::FromDataset(const Dataset& data, int64_t begin, int64_t end) {
+  Batch batch;
+  const int num_attrs = data.num_attrs();
+  batch.columns_.resize(static_cast<size_t>(num_attrs));
+  for (int a = 0; a < num_attrs; ++a) {
+    auto col = data.column(a);
+    batch.columns_[static_cast<size_t>(a)]
+        .assign(col.begin() + begin, col.begin() + end);
+  }
+  batch.num_tuples_ = end - begin;
+  return batch;
+}
+
+}  // namespace smptree

@@ -1,0 +1,115 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace smptree {
+
+PredictionEngine::PredictionEngine(const ModelStore* store,
+                                   EngineOptions options)
+    : store_(store),
+      options_(std::move(options)),
+      queue_(std::max<size_t>(1, options_.queue_capacity)) {
+  int n = options_.num_workers;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 2;
+  }
+  arenas_.reserve(static_cast<size_t>(n));
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    arenas_.push_back(std::make_unique<WorkerArena>());
+  }
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+PredictionEngine::~PredictionEngine() {
+  Shutdown();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void PredictionEngine::Shutdown() { queue_.Close(); }
+
+Result<PredictOutcome> PredictionEngine::Predict(Batch batch) {
+  if (batch.num_tuples() <= 0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("empty batch");
+  }
+  if (batch.num_attrs() != store_->schema().num_attrs()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(StringPrintf(
+        "batch has %d attributes, serving schema has %d", batch.num_attrs(),
+        store_->schema().num_attrs()));
+  }
+  Request request(std::move(batch));
+  if (!queue_.Push(&request)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Aborted("prediction engine is shut down");
+  }
+  {
+    MutexLock lock(request.mu);
+    while (!request.done) request.cv.Wait(request.mu);
+  }
+  return std::move(request.outcome);
+}
+
+void PredictionEngine::WorkerLoop(int worker_index) {
+  WorkerArena& arena = *arenas_[static_cast<size_t>(worker_index)];
+  for (;;) {
+    std::optional<Request*> item = queue_.Pop();
+    if (!item.has_value()) return;  // shutdown, queue drained
+    Request* request = *item;
+    Timer timer;
+
+    // The batch's model snapshot: one atomic load; holding the shared_ptr
+    // keeps this epoch's tree alive past any concurrent reload.
+    const ServingModelPtr model = store_->Current();
+    if (options_.test_batch_hook) options_.test_batch_hook(model->epoch);
+
+    const int64_t n = request->batch.num_tuples();
+    request->outcome.labels.resize(static_cast<size_t>(n));
+    for (int64_t t = 0; t < n; ++t) {
+      request->batch.GatherTuple(t, &arena.row);
+      request->outcome.labels[static_cast<size_t>(t)] =
+          model->tree.Classify(arena.row);
+    }
+    request->outcome.model_epoch = model->epoch;
+
+    arena.latency.Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
+    arena.batches.fetch_add(1, std::memory_order_relaxed);
+    arena.tuples.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+
+    MutexLock lock(request->mu);
+    request->done = true;
+    request->cv.NotifyAll();
+    // `request` lives on the caller's stack and may be destroyed as soon
+    // as done is observed; do not touch it after the lock drops.
+  }
+}
+
+EngineStats PredictionEngine::Stats() const {
+  EngineStats stats;
+  LatencyHistogram merged;
+  for (const auto& arena : arenas_) {
+    stats.batches += arena->batches.load(std::memory_order_relaxed);
+    stats.tuples += arena->tuples.load(std::memory_order_relaxed);
+    merged.Merge(arena->latency);
+  }
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_.size();
+  stats.workers = static_cast<int>(workers_.size());
+  stats.mean_nanos = merged.mean_nanos();
+  stats.p50_nanos = merged.QuantileNanos(0.5);
+  stats.p90_nanos = merged.QuantileNanos(0.9);
+  stats.p99_nanos = merged.QuantileNanos(0.99);
+  return stats;
+}
+
+}  // namespace smptree

@@ -1,0 +1,126 @@
+// PredictionEngine: the scoring core of the serving subsystem. A fixed pool
+// of worker threads pops Batch requests from a bounded MPMC queue
+// (serve/work_queue.h) and walks each tuple through an immutable tree.
+//
+// Concurrency model (the read-side mirror of the paper's build-side
+// protocols): workers share NOTHING mutable on the hot path. Each batch
+// takes one ServingModelPtr snapshot from the ModelStore -- an O(1)
+// pointer copy -- and scores every tuple against that snapshot, so a hot
+// reload mid-batch never changes the tree under a batch and never blocks.
+// Per-worker arenas hold the row-gather scratch buffer and a private
+// latency histogram; /statz merges the histograms on demand.
+
+#ifndef SMPTREE_SERVE_ENGINE_H_
+#define SMPTREE_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/records.h"
+#include "serve/batch.h"
+#include "serve/latency_histogram.h"
+#include "serve/model_store.h"
+#include "serve/work_queue.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace smptree {
+
+struct EngineOptions {
+  /// Worker threads scoring batches; 0 means hardware_concurrency.
+  int num_workers = 0;
+  /// Bound on queued batches; producers block when full (backpressure).
+  size_t queue_capacity = 128;
+  /// Test-only: called by the worker after it takes its model snapshot and
+  /// before it scores, with the snapshot's epoch. Lets tests hold a batch
+  /// "in flight" across a reload deterministically.
+  std::function<void(int64_t epoch)> test_batch_hook;
+};
+
+/// The scored batch: one label per input tuple, plus the epoch of the model
+/// that produced them (so callers can tell which model answered across a
+/// reload).
+struct PredictOutcome {
+  std::vector<ClassLabel> labels;
+  int64_t model_epoch = 0;
+};
+
+/// Monitoring snapshot for /statz.
+struct EngineStats {
+  uint64_t batches = 0;         ///< batches scored
+  uint64_t tuples = 0;          ///< tuples scored
+  uint64_t rejected = 0;        ///< batches rejected before scoring
+  size_t queue_depth = 0;       ///< instantaneous queued batches
+  int workers = 0;
+  double mean_nanos = 0.0;      ///< per-batch service latency (queue+score)
+  uint64_t p50_nanos = 0;
+  uint64_t p90_nanos = 0;
+  uint64_t p99_nanos = 0;
+};
+
+class PredictionEngine {
+ public:
+  /// `store` must outlive the engine. Workers start immediately.
+  PredictionEngine(const ModelStore* store, EngineOptions options);
+
+  /// Joins the workers (Shutdown() if not already called).
+  ~PredictionEngine();
+
+  PredictionEngine(const PredictionEngine&) = delete;
+  PredictionEngine& operator=(const PredictionEngine&) = delete;
+
+  /// Scores `batch`: enqueues it and blocks until a worker completes it.
+  /// Safe to call from any number of threads concurrently. Fails without
+  /// scoring when the batch arity does not match the serving schema or the
+  /// engine is shutting down.
+  Result<PredictOutcome> Predict(Batch batch);
+
+  /// Closes the queue; queued batches still complete, new Predict calls
+  /// fail with Aborted. Idempotent.
+  void Shutdown();
+
+  EngineStats Stats() const;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  /// One in-flight request: the caller stack-allocates it, the worker
+  /// fills outcome/status and signals done.
+  struct Request {
+    explicit Request(Batch b) : batch(std::move(b)) {}
+
+    Batch batch;
+    PredictOutcome outcome;
+
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+  };
+
+  /// Per-worker arena: scratch buffers reused across rows and batches, and
+  /// the worker's private slice of the stats.
+  struct WorkerArena {
+    TupleValues row;               ///< row-gather scratch
+    LatencyHistogram latency;      ///< per-batch service latency
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> tuples{0};
+  };
+
+  void WorkerLoop(int worker_index);
+
+  const ModelStore* const store_;
+  const EngineOptions options_;
+  WorkQueue<Request*> queue_;
+  std::vector<std::unique_ptr<WorkerArena>> arenas_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_SERVE_ENGINE_H_

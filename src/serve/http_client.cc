@@ -1,0 +1,172 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+HttpClientConnection::HttpClientConnection(std::string host, uint16_t port,
+                                           int timeout_seconds)
+    : host_(std::move(host)), port_(port), timeout_seconds_(timeout_seconds) {}
+
+HttpClientConnection::~HttpClientConnection() { Close(); }
+
+void HttpClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClientConnection::Connect() {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_seconds_;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::IOError(StringPrintf(
+        "connect %s:%d: %s", host_.c_str(), port_, std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpClientConnection::Call(
+    const std::string& method, const std::string& path,
+    const std::string& body) {
+  const bool had_connection = fd_ >= 0;
+  if (!had_connection) SMPTREE_RETURN_IF_ERROR(Connect());
+  auto first = CallOnce(method, path, body);
+  if (first.ok() || !had_connection) return first;
+  // The kept-alive connection likely went stale; retry once on a fresh one.
+  SMPTREE_RETURN_IF_ERROR(Connect());
+  return CallOnce(method, path, body);
+}
+
+Result<HttpClientResponse> HttpClientConnection::CallOnce(
+    const std::string& method, const std::string& path,
+    const std::string& body) {
+  std::string request = StringPrintf(
+      "%s %s HTTP/1.1\r\n"
+      "Host: %s\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: %zu\r\n"
+      "\r\n",
+      method.c_str(), path.c_str(), host_.c_str(), body.size());
+  request += body;
+
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd_, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      Close();
+      return Status::IOError("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[8192];
+  size_t header_end = std::string::npos;
+  for (;;) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      return Status::IOError("connection closed before response headers");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  const std::string head = buffer.substr(0, header_end);
+  HttpClientResponse response;
+  {
+    // "HTTP/1.1 200 OK"
+    const size_t sp = head.find(' ');
+    if (sp == std::string::npos) {
+      Close();
+      return Status::Corruption("malformed status line");
+    }
+    int64_t status = 0;
+    if (!ParseInt64(head.substr(sp + 1, 3), &status)) {
+      Close();
+      return Status::Corruption("malformed status code");
+    }
+    response.status = static_cast<int>(status);
+  }
+
+  size_t content_length = 0;
+  bool close_after = false;
+  {
+    size_t pos = head.find("\r\n");
+    pos = pos == std::string::npos ? head.size() : pos + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      const std::string line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(
+          static_cast<unsigned char>(c)));
+      std::string value(TrimWhitespace(line.substr(colon + 1)));
+      if (name == "content-length") {
+        int64_t parsed = 0;
+        if (!ParseInt64(value, &parsed) || parsed < 0) {
+          Close();
+          return Status::Corruption("bad Content-Length in response");
+        }
+        content_length = static_cast<size_t>(parsed);
+      } else if (name == "connection") {
+        for (char& c : value) c = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+        close_after = value == "close";
+      }
+    }
+  }
+
+  std::string rest = buffer.substr(header_end + 4);
+  while (rest.size() < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      return Status::IOError("connection closed mid-body");
+    }
+    rest.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = rest.substr(0, content_length);
+  if (close_after) Close();
+  return response;
+}
+
+}  // namespace smptree

@@ -1,0 +1,52 @@
+// Minimal HTTP/1.1 client used by the load generator, the serving tests,
+// and the CLI: one keep-alive connection per object, blocking calls,
+// Content-Length responses only (which is all the server sends).
+
+#ifndef SMPTREE_SERVE_HTTP_CLIENT_H_
+#define SMPTREE_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace smptree {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+class HttpClientConnection {
+ public:
+  HttpClientConnection(std::string host, uint16_t port,
+                       int timeout_seconds = 30);
+  ~HttpClientConnection();
+
+  HttpClientConnection(const HttpClientConnection&) = delete;
+  HttpClientConnection& operator=(const HttpClientConnection&) = delete;
+
+  /// Sends one request and reads the full response. Connects lazily on the
+  /// first call and reconnects once transparently if the kept-alive
+  /// connection died (server restarted, idle timeout).
+  Result<HttpClientResponse> Call(const std::string& method,
+                                  const std::string& path,
+                                  const std::string& body);
+
+  void Close();
+
+ private:
+  Status Connect();
+  Result<HttpClientResponse> CallOnce(const std::string& method,
+                                      const std::string& path,
+                                      const std::string& body);
+
+  const std::string host_;
+  const uint16_t port_;
+  const int timeout_seconds_;
+  int fd_ = -1;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_SERVE_HTTP_CLIENT_H_

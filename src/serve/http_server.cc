@@ -1,0 +1,326 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+/// Sends the whole buffer; false on any error (connection is then dropped).
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = StringPrintf(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: %s\r\n"
+      "\r\n",
+      response.status, HttpStatusText(response.status),
+      response.content_type.c_str(), response.body.size(),
+      keep_alive ? "keep-alive" : "close");
+  out += response.body;
+  return out;
+}
+
+/// Case-insensitive ASCII compare for header names.
+bool IEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Options options)
+    : options_(std::move(options)),
+      // Connection handoff queue: small bound; once it and the kernel
+      // accept backlog are full, clients block in connect().
+      pending_connections_(
+          static_cast<size_t>(std::max(1, options_.num_threads)) * 2) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& method, const std::string& path,
+                       Handler handler) {
+  routes_[{method, path}] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::IOError(
+        StringPrintf("bind %s:%d: %s", options_.bind_address.c_str(),
+                     options_.port, std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const Status s =
+        Status::IOError(StringPrintf("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status s =
+        Status::IOError(StringPrintf("getsockname: %s", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  listen_fd_.store(fd, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  threads_.emplace_back([this] { AcceptLoop(); });
+  for (int i = 0; i < std::max(1, options_.num_threads); ++i) {
+    threads_.emplace_back([this] { ConnectionLoop(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Never started or already stopped; still join any leftover threads.
+  } else {
+    // Closing the listener makes the blocking accept() fail, unblocking the
+    // accept thread; shutdown() first for portability against raced fds.
+    const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    pending_connections_.Close();
+    // Kick handler threads out of blocking reads on live connections; the
+    // owning thread still does the close().
+    {
+      MutexLock lock(conns_mu_);
+      for (const int conn_fd : active_fds_) ::shutdown(conn_fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed (Stop) or fatal error: hand off nothing more.
+      return;
+    }
+    // Bound per-read wait so dead connections cannot pin a handler thread
+    // forever and Stop() completes within one timeout.
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (!pending_connections_.Push(fd)) {
+      ::close(fd);  // queue closed: shutting down
+      return;
+    }
+  }
+}
+
+void HttpServer::ConnectionLoop() {
+  for (;;) {
+    std::optional<int> fd = pending_connections_.Pop();
+    if (!fd.has_value()) return;
+    RegisterConnection(*fd);
+    ServeConnection(*fd);
+    UnregisterConnection(*fd);
+    ::close(*fd);
+  }
+}
+
+void HttpServer::RegisterConnection(int fd) {
+  MutexLock lock(conns_mu_);
+  active_fds_.insert(fd);
+  // Raced with Stop(): it may have walked active_fds_ before the insert,
+  // so apply its shutdown ourselves and let ServeConnection fail fast.
+  if (!running_.load(std::memory_order_acquire)) ::shutdown(fd, SHUT_RDWR);
+}
+
+void HttpServer::UnregisterConnection(int fd) {
+  MutexLock lock(conns_mu_);
+  active_fds_.erase(fd);
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;  // bytes read but not yet consumed
+  char chunk[8192];
+  while (running_.load(std::memory_order_acquire)) {
+    // --- read until the blank line ending the header block ---
+    size_t header_end = std::string::npos;
+    for (;;) {
+      header_end = buffer.find("\r\n\r\n");
+      if (header_end != std::string::npos) break;
+      if (buffer.size() > 64u * 1024) return;  // header flood
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;  // close, timeout, or error
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    const std::string head = buffer.substr(0, header_end);
+    buffer.erase(0, header_end + 4);
+
+    // --- request line ---
+    HttpRequest request;
+    const size_t line_end = head.find("\r\n");
+    const std::string request_line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    {
+      const size_t sp1 = request_line.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) {
+        SendAll(fd, RenderResponse(
+                        {400, "text/plain", "malformed request line\n"},
+                        false));
+        return;
+      }
+      request.method = request_line.substr(0, sp1);
+      std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t qmark = target.find('?');
+      if (qmark != std::string::npos) {
+        request.query = target.substr(qmark + 1);
+        target.resize(qmark);
+      }
+      request.path = std::move(target);
+    }
+
+    // --- headers (only the ones the server acts on) ---
+    size_t content_length = 0;
+    bool keep_alive = true;  // HTTP/1.1 default
+    {
+      size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+      while (pos < head.size()) {
+        size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos) eol = head.size();
+        const std::string line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        std::string name = line.substr(0, colon);
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+          value.erase(value.begin());
+        }
+        if (IEquals(name, "Content-Length")) {
+          int64_t parsed = 0;
+          if (!ParseInt64(value, &parsed) || parsed < 0) {
+            SendAll(fd, RenderResponse(
+                            {400, "text/plain", "bad Content-Length\n"},
+                            false));
+            return;
+          }
+          content_length = static_cast<size_t>(parsed);
+        } else if (IEquals(name, "Connection")) {
+          if (IEquals(value, "close")) keep_alive = false;
+        } else if (IEquals(name, "Transfer-Encoding")) {
+          SendAll(fd,
+                  RenderResponse({400, "text/plain",
+                                  "chunked encoding not supported\n"},
+                                 false));
+          return;
+        }
+      }
+    }
+    if (content_length > options_.max_body_bytes) {
+      SendAll(fd, RenderResponse({413, "text/plain", "body too large\n"},
+                                 false));
+      return;
+    }
+
+    // --- body ---
+    while (buffer.size() < content_length) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    request.body = buffer.substr(0, content_length);
+    buffer.erase(0, content_length);
+
+    // --- dispatch and respond ---
+    const HttpResponse response = Dispatch(request);
+    if (!SendAll(fd, RenderResponse(response, keep_alive))) return;
+    if (!keep_alive) return;
+  }
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
+  const auto it = routes_.find({request.method, request.path});
+  if (it != routes_.end()) return it->second(request);
+  // Distinguish wrong-method from unknown path for usable client errors.
+  for (const auto& [key, handler] : routes_) {
+    if (key.second == request.path) {
+      return {405, "text/plain", "method not allowed\n"};
+    }
+  }
+  return {404, "text/plain", "no such endpoint\n"};
+}
+
+}  // namespace smptree

@@ -1,0 +1,107 @@
+// Minimal HTTP/1.1 server for the inference front end: a blocking accept
+// thread hands accepted connections to a pool of connection threads through
+// the same bounded WorkQueue the prediction engine uses. Supports exactly
+// what the serving endpoints need -- GET/POST, Content-Length bodies,
+// keep-alive -- and nothing else (no TLS, no chunked encoding, no
+// pipelining). Handlers run on the connection threads; the predict handler
+// blocks there on PredictionEngine::Predict, which is the intended
+// closed-loop backpressure path: when all workers are busy the connection
+// threads queue, then the accept backlog fills, then clients see connect
+// latency.
+
+#ifndef SMPTREE_SERVE_HTTP_SERVER_H_
+#define SMPTREE_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/work_queue.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace smptree {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (uppercase as sent)
+  std::string path;    ///< path only; "?query" is split off into `query`
+  std::string query;   ///< raw query string, no leading '?'
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses the server emits.
+const char* HttpStatusText(int status);
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;          ///< 0 picks an ephemeral port (see port())
+    int num_threads = 4;        ///< connection handler threads
+    int backlog = 128;
+    size_t max_body_bytes = 32u << 20;
+    int io_timeout_seconds = 30;  ///< per-read timeout (also bounds Stop latency)
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Options options);
+  ~HttpServer();  ///< Stop() if still running
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact (method, path) pair. Must be called
+  /// before Start (the route table is immutable while serving).
+  void Route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  /// Binds, listens, and spawns the accept + connection threads.
+  Status Start();
+
+  /// The bound port (after Start; resolves port 0 to the real port).
+  uint16_t port() const { return bound_port_; }
+
+  /// Stops accepting, closes the listener, and joins all threads.
+  /// In-flight requests finish; idle keep-alive connections are dropped.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop();
+  /// Serves one connection until close/error/shutdown (keep-alive loop).
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  /// Active-connection registry so Stop() can shutdown() fds that handler
+  /// threads are blocked reading (idle keep-alive connections would
+  /// otherwise pin Stop for up to io_timeout_seconds).
+  void RegisterConnection(int fd) EXCLUDES(conns_mu_);
+  void UnregisterConnection(int fd) EXCLUDES(conns_mu_);
+
+  const Options options_;
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+  WorkQueue<int> pending_connections_;
+  std::vector<std::thread> threads_;  ///< [0] = accept, rest = connections
+  std::atomic<bool> running_{false};
+  std::atomic<int> listen_fd_{-1};
+  uint16_t bound_port_ = 0;
+  Mutex conns_mu_;
+  std::set<int> active_fds_ GUARDED_BY(conns_mu_);
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_SERVE_HTTP_SERVER_H_

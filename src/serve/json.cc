@@ -1,0 +1,278 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string view kept as (text, pos).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SMPTREE_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StringPrintf("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      SMPTREE_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::MakeString(std::move(s));
+    }
+    if (ConsumeWord("true")) return JsonValue::MakeBool(true);
+    if (ConsumeWord("false")) return JsonValue::MakeBool(false);
+    if (ConsumeWord("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipSpace();
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      SMPTREE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SMPTREE_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      members.insert_or_assign(std::move(key), std::move(v));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipSpace();
+    if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+    for (;;) {
+      SMPTREE_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      items.push_back(std::move(v));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+          // passed through as two separate 3-byte sequences).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("malformed number");
+    return JsonValue::MakeNumber(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonQuote(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return StringPrintf("%lld", static_cast<long long>(value));
+  }
+  return StringPrintf("%.17g", value);
+}
+
+}  // namespace smptree

@@ -1,0 +1,74 @@
+// Minimal JSON support for the serving subsystem: a recursive-descent
+// parser into a small value model, plus string-building helpers for
+// responses. Covers the JSON the serving endpoints exchange (objects,
+// arrays, strings, numbers, booleans, null); it is not a general-purpose
+// library -- no surrogate-pair decoding, numbers parse as double.
+
+#ifndef SMPTREE_SERVE_JSON_H_
+#define SMPTREE_SERVE_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace smptree {
+
+/// One parsed JSON value. Containers own their children by value; the
+/// whole tree is immutable after parsing.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_members() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. Nesting
+/// deeper than 64 levels is rejected (requests are flat; this bounds the
+/// parser's recursion on hostile input).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Renders `raw` as a JSON string literal, quotes included.
+std::string JsonQuote(const std::string& raw);
+
+/// Renders a double the way the responses need it: integral values without
+/// a fraction, NaN/Inf as null (JSON has no literal for them).
+std::string JsonNumber(double value);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_SERVE_JSON_H_

@@ -1,0 +1,91 @@
+#include "serve/model_store.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/tree_io.h"
+#include "data/schema_io.h"
+
+namespace smptree {
+
+bool SchemasCompatible(const Schema& a, const Schema& b) {
+  if (a.num_attrs() != b.num_attrs()) return false;
+  if (a.num_classes() != b.num_classes()) return false;
+  for (int i = 0; i < a.num_attrs(); ++i) {
+    const AttrInfo& x = a.attr(i);
+    const AttrInfo& y = b.attr(i);
+    if (x.name != y.name || x.type != y.type) return false;
+    if (x.is_categorical() && x.cardinality != y.cardinality) return false;
+  }
+  for (int c = 0; c < a.num_classes(); ++c) {
+    if (a.class_names()[c] != b.class_names()[c]) return false;
+  }
+  return true;
+}
+
+ModelStore::ModelStore(ServingModelPtr initial) : schema_(initial->schema()) {
+  MutexLock lock(mu_);
+  current_ = std::move(initial);
+}
+
+Result<std::unique_ptr<ModelStore>> ModelStore::Create(DecisionTree tree) {
+  SMPTREE_RETURN_IF_ERROR(tree.Validate());
+  auto model = std::make_shared<ServingModel>(std::move(tree));
+  model->epoch = 1;
+  return std::unique_ptr<ModelStore>(new ModelStore(std::move(model)));
+}
+
+Result<DecisionTree> ModelStore::LoadTreeFile(const Schema& schema,
+                                              const std::string& model_path) {
+  std::ifstream in(model_path);
+  if (!in) return Status::IOError("cannot open model file " + model_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree,
+                           DeserializeTree(schema, buffer.str()));
+  SMPTREE_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+Result<std::unique_ptr<ModelStore>> ModelStore::Open(
+    const std::string& schema_path, const std::string& model_path) {
+  SMPTREE_ASSIGN_OR_RETURN(Schema schema, ReadSchemaFile(schema_path));
+  SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree,
+                           LoadTreeFile(schema, model_path));
+  auto model = std::make_shared<ServingModel>(std::move(tree));
+  model->epoch = 1;
+  model->source = model_path;
+  return std::unique_ptr<ModelStore>(new ModelStore(std::move(model)));
+}
+
+Status ModelStore::Install(DecisionTree tree, const std::string& source) {
+  SMPTREE_RETURN_IF_ERROR(tree.Validate());
+  if (!SchemasCompatible(schema_, tree.schema())) {
+    return Status::InvalidArgument(
+        "model schema is incompatible with the serving schema (" + source +
+        ")");
+  }
+  auto model = std::make_shared<ServingModel>(std::move(tree));
+  model->source = source;
+  ServingModelPtr retired;
+  {
+    MutexLock lock(mu_);
+    model->epoch = ++last_epoch_;
+    retired = std::move(current_);
+    current_ = std::move(model);
+  }
+  // `retired` holds the outgoing model; if this was its last reference
+  // (no batch in flight), the old tree is destroyed here, outside the lock.
+  return Status::OK();
+}
+
+Status ModelStore::Reload(const std::string& model_path) {
+  // Parse and validate outside the install lock; only the epoch assignment
+  // and pointer swap serialize.
+  SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree,
+                           LoadTreeFile(schema_, model_path));
+  return Install(std::move(tree), model_path);
+}
+
+}  // namespace smptree

@@ -1,0 +1,114 @@
+// ModelStore: owns the tree a long-lived serving process scores against.
+//
+// Models load from the text formats the training side already writes
+// (schema_io + tree_io), are structurally validated (DecisionTree::Validate)
+// before they become visible, and hot-reload with swap-on-load semantics:
+// Reload() installs the new model atomically and returns without waiting
+// for readers. Retirement is epoch-based: every model carries a
+// monotonically increasing epoch, in-flight batches hold a
+// shared_ptr<const ServingModel> snapshot for the whole batch, and the old
+// epoch's tree is destroyed only when the last such snapshot drops --
+// readers never block a swap and a swap never invalidates a reader.
+//
+// Schema compatibility: the store is created against one schema (the
+// contract with connected clients); a reloaded model whose schema differs
+// in any way that changes scoring (attribute count/order/type/cardinality,
+// class alphabet) is rejected and the current model stays installed.
+
+#ifndef SMPTREE_SERVE_MODEL_STORE_H_
+#define SMPTREE_SERVE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/tree.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace smptree {
+
+/// One immutable, epoch-stamped model. The schema is stored by value so a
+/// ServingModel snapshot is self-contained (the tree's own schema copy and
+/// this one are identical).
+struct ServingModel {
+  DecisionTree tree;
+  int64_t epoch = 0;
+  std::string source;  ///< file path the model was loaded from ("" = in-proc)
+
+  explicit ServingModel(DecisionTree t) : tree(std::move(t)) {}
+
+  const Schema& schema() const { return tree.schema(); }
+};
+
+using ServingModelPtr = std::shared_ptr<const ServingModel>;
+
+/// True when `a` and `b` agree on everything Classify depends on:
+/// attribute count, per-attribute type and cardinality, and the class
+/// alphabet. Attribute and class *names* must match too -- clients send
+/// categorical values by name.
+bool SchemasCompatible(const Schema& a, const Schema& b);
+
+class ModelStore {
+ public:
+  /// Creates the store with an already-built tree at epoch 1 (used by tests
+  /// and in-process embedding).
+  static Result<std::unique_ptr<ModelStore>> Create(DecisionTree tree);
+
+  /// Creates the store from files: schema + serialized tree (the CLI's
+  /// train output). The deserialized tree must pass Validate().
+  static Result<std::unique_ptr<ModelStore>> Open(
+      const std::string& schema_path, const std::string& model_path);
+
+  /// Loads a serialized tree against an externally supplied schema --
+  /// the shared load path for Open(), Reload() and the CLI `predict`
+  /// subcommand (validation included, no store required).
+  static Result<DecisionTree> LoadTreeFile(const Schema& schema,
+                                           const std::string& model_path);
+
+  /// Swap-on-load hot reload: parses `model_path` against the store's
+  /// schema, validates it, then atomically installs it at epoch+1.
+  /// On any error the current model stays installed and serving continues.
+  /// All the expensive work (file IO, parsing, Validate) happens before
+  /// the publication lock is touched, so a reload in progress never stalls
+  /// readers for longer than a pointer swap.
+  Status Reload(const std::string& model_path) EXCLUDES(mu_);
+
+  /// Installs an already-built tree (test hook for reload semantics).
+  Status Install(DecisionTree tree, const std::string& source) EXCLUDES(mu_);
+
+  /// Current model snapshot. The returned pointer keeps its epoch's tree
+  /// alive for as long as the caller holds it; each batch takes exactly one
+  /// snapshot so a reload mid-batch never changes the tree under it.
+  /// The critical section is one shared_ptr copy -- O(1), no IO, no tree
+  /// work. (Not std::atomic<shared_ptr>: libstdc++'s _Sp_atomic::load
+  /// releases its internal spinlock with a relaxed RMW, which leaves the
+  /// load formally unordered against a concurrent store's pointer swap --
+  /// ThreadSanitizer reports it, correctly, as a data race.)
+  ServingModelPtr Current() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return current_;
+  }
+
+  /// Epoch of the currently installed model (starts at 1, +1 per reload).
+  int64_t epoch() const { return Current()->epoch; }
+
+  /// The schema every model in this store must be compatible with.
+  const Schema& schema() const { return schema_; }
+
+ private:
+  explicit ModelStore(ServingModelPtr initial);
+
+  Schema schema_;  ///< fixed at creation; immutable thereafter
+  // One lock for epoch assignment and publication: installs serialize so
+  // epochs are published in order, and snapshot reads copy the pointer
+  // inside the same lock. Retirement needs no lock at all -- it is the
+  // shared_ptr refcount dropping to zero.
+  mutable Mutex mu_;
+  ServingModelPtr current_ GUARDED_BY(mu_);
+  int64_t last_epoch_ GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_SERVE_MODEL_STORE_H_

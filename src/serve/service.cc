@@ -1,0 +1,161 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "serve/batch.h"
+#include "serve/json.h"
+#include "util/string_util.h"
+
+namespace smptree {
+namespace {
+
+HttpResponse JsonError(int status, const Status& error) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\": " + JsonQuote(error.ToString()) + "}\n";
+  return response;
+}
+
+}  // namespace
+
+InferenceService::InferenceService(std::unique_ptr<ModelStore> store,
+                                   ServiceOptions options)
+    : options_(std::move(options)),
+      store_(std::move(store)),
+      engine_(store_.get(), options_.engine),
+      http_(options_.http) {
+  http_.Route("POST", "/v1/predict",
+              [this](const HttpRequest& r) { return HandlePredict(r); });
+  http_.Route("POST", "/v1/reload",
+              [this](const HttpRequest& r) { return HandleReload(r); });
+  http_.Route("GET", "/healthz",
+              [this](const HttpRequest& r) { return HandleHealthz(r); });
+  http_.Route("GET", "/statz",
+              [this](const HttpRequest& r) { return HandleStatz(r); });
+}
+
+InferenceService::~InferenceService() { Stop(); }
+
+Status InferenceService::Start() { return http_.Start(); }
+
+void InferenceService::Stop() {
+  // Order matters: stop the front end first so no new batches arrive, then
+  // drain the engine. In-flight predicts complete before Stop returns
+  // because HttpServer joins its connection threads.
+  http_.Stop();
+  engine_.Shutdown();
+}
+
+HttpResponse InferenceService::HandlePredict(const HttpRequest& request) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    predict_errors_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(400, doc.status());
+  }
+  auto batch = Batch::FromJson(store_->schema(), *doc);
+  if (!batch.ok()) {
+    predict_errors_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(400, batch.status());
+  }
+  auto outcome = engine_.Predict(std::move(*batch));
+  if (!outcome.ok()) {
+    predict_errors_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(outcome.status().IsAborted() ? 503 : 400,
+                     outcome.status());
+  }
+
+  const Schema& schema = store_->schema();
+  std::string codes, labels;
+  codes.reserve(outcome->labels.size() * 3);
+  for (size_t i = 0; i < outcome->labels.size(); ++i) {
+    if (i > 0) {
+      codes += ",";
+      labels += ",";
+    }
+    codes += StringPrintf("%d", static_cast<int>(outcome->labels[i]));
+    labels += JsonQuote(schema.class_name(outcome->labels[i]));
+  }
+  HttpResponse response;
+  response.body = StringPrintf(
+      "{\"epoch\": %lld, \"codes\": [%s], \"labels\": [%s]}\n",
+      static_cast<long long>(outcome->model_epoch), codes.c_str(),
+      labels.c_str());
+  return response;
+}
+
+HttpResponse InferenceService::HandleReload(const HttpRequest& request) {
+  if (!options_.allow_reload) {
+    reload_errors_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(403, Status::NotSupported("reload is disabled"));
+  }
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    reload_errors_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(400, doc.status());
+  }
+  const JsonValue* model = doc->Find("model");
+  if (model == nullptr || !model->is_string()) {
+    reload_errors_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(400, Status::InvalidArgument(
+                              "request needs a \"model\" path string"));
+  }
+  const Status s = store_->Reload(model->string_value());
+  if (!s.ok()) {
+    reload_errors_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(s.IsIOError() || s.IsNotFound() ? 404 : 400, s);
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  const ServingModelPtr current = store_->Current();
+  HttpResponse response;
+  response.body = StringPrintf(
+      "{\"epoch\": %lld, \"nodes\": %lld, \"source\": %s}\n",
+      static_cast<long long>(current->epoch),
+      static_cast<long long>(current->tree.num_nodes()),
+      JsonQuote(current->source).c_str());
+  return response;
+}
+
+HttpResponse InferenceService::HandleHealthz(const HttpRequest&) {
+  HttpResponse response;
+  response.body = StringPrintf(
+      "{\"status\": \"ok\", \"epoch\": %lld}\n",
+      static_cast<long long>(store_->epoch()));
+  return response;
+}
+
+HttpResponse InferenceService::HandleStatz(const HttpRequest&) {
+  const EngineStats stats = engine_.Stats();
+  const ServingModelPtr model = store_->Current();
+  const double uptime = uptime_.Seconds();
+  const double tuples_per_second =
+      uptime > 0 ? static_cast<double>(stats.tuples) / uptime : 0.0;
+  HttpResponse response;
+  response.body = StringPrintf(
+      "{\"model_epoch\": %lld, \"model_nodes\": %lld, "
+      "\"model_source\": %s, \"workers\": %d, \"queue_depth\": %zu, "
+      "\"batches\": %llu, \"tuples\": %llu, \"rejected\": %llu, "
+      "\"predict_errors\": %llu, \"reloads\": %llu, "
+      "\"reload_errors\": %llu, \"uptime_seconds\": %s, "
+      "\"tuples_per_second\": %s, \"latency\": "
+      "{\"mean_ms\": %s, \"p50_ms\": %s, \"p90_ms\": %s, \"p99_ms\": %s}}\n",
+      static_cast<long long>(model->epoch),
+      static_cast<long long>(model->tree.num_nodes()),
+      JsonQuote(model->source).c_str(), stats.workers, stats.queue_depth,
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.tuples),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(
+          predict_errors_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          reloads_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          reload_errors_.load(std::memory_order_relaxed)),
+      JsonNumber(uptime).c_str(), JsonNumber(tuples_per_second).c_str(),
+      JsonNumber(stats.mean_nanos / 1e6).c_str(),
+      JsonNumber(static_cast<double>(stats.p50_nanos) / 1e6).c_str(),
+      JsonNumber(static_cast<double>(stats.p90_nanos) / 1e6).c_str(),
+      JsonNumber(static_cast<double>(stats.p99_nanos) / 1e6).c_str());
+  return response;
+}
+
+}  // namespace smptree

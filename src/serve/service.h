@@ -1,0 +1,72 @@
+// InferenceService: binds the serving layers together -- ModelStore (model
+// lifecycle) + PredictionEngine (scoring pool) + HttpServer (front end) --
+// and implements the HTTP API:
+//
+//   POST /v1/predict  {"tuples": [[v, ...], ...]}
+//     -> {"epoch": E, "codes": [c, ...], "labels": ["name", ...]}
+//   POST /v1/reload   {"model": "path/to/model.tree"}
+//     -> {"epoch": E, "nodes": N, "source": "..."}   (swap-on-load)
+//   GET  /healthz     -> {"status": "ok", "epoch": E}
+//   GET  /statz       -> counters, latency quantiles, queue depth, epoch
+//
+// Values in a predict tuple follow schema attribute order; categorical
+// values may be sent as value names (strings) or integer codes; null means
+// a missing continuous value. Responses carry both dense label codes and
+// class names so thin clients need no schema.
+
+#ifndef SMPTREE_SERVE_SERVICE_H_
+#define SMPTREE_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "serve/engine.h"
+#include "serve/http_server.h"
+#include "serve/model_store.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace smptree {
+
+struct ServiceOptions {
+  EngineOptions engine;
+  HttpServer::Options http;
+  /// When false, POST /v1/reload answers 403 (immutable deployments).
+  bool allow_reload = true;
+};
+
+class InferenceService {
+ public:
+  InferenceService(std::unique_ptr<ModelStore> store, ServiceOptions options);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return http_.port(); }
+  ModelStore& store() { return *store_; }
+  PredictionEngine& engine() { return engine_; }
+
+ private:
+  HttpResponse HandlePredict(const HttpRequest& request);
+  HttpResponse HandleReload(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request);
+  HttpResponse HandleStatz(const HttpRequest& request);
+
+  const ServiceOptions options_;
+  std::unique_ptr<ModelStore> store_;
+  PredictionEngine engine_;
+  HttpServer http_;
+  Timer uptime_;
+  std::atomic<uint64_t> predict_errors_{0};
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reload_errors_{0};
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_SERVE_SERVICE_H_

@@ -47,6 +47,23 @@ grep -q "pruned" "$DIR/mc_train.out" || fail "train mc output"
 "$CLI" eval --schema "$DIR/mc_schema.txt" --model "$DIR/mc.tree" \
   --data "$DIR/mc.csv" | grep -q "band 3" || fail "eval mc classes"
 
+# --- predict: batch scoring through the serving load path ---
+"$CLI" predict --schema "$DIR/schema.txt" --model "$DIR/model.tree" \
+  --data "$DIR/data.csv" --out "$DIR/pred.csv" || fail "predict"
+head -n 1 "$DIR/pred.csv" | grep -q "^class$" || fail "predict header"
+# One prediction per tuple (2000 rows + header).
+[ "$(wc -l < "$DIR/pred.csv")" = "2001" ] || fail "predict row count"
+# The model fit the training data exactly, so the predicted class names
+# must equal the label column of the input CSV.
+awk -F, 'NR > 1 {print $NF}' "$DIR/data.csv" > "$DIR/want.txt"
+tail -n +2 "$DIR/pred.csv" > "$DIR/got.txt"
+cmp -s "$DIR/want.txt" "$DIR/got.txt" || fail "predictions != labels"
+
+if "$CLI" predict --schema "$DIR/schema.txt" --model "$DIR/missing.tree" \
+  --data "$DIR/data.csv" 2> /dev/null; then
+  fail "predict accepted a missing model"
+fi
+
 # --- failure modes must exit non-zero with a message ---
 if "$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
   --algorithm warp9 --model "$DIR/x.tree" 2> "$DIR/err.out"; then

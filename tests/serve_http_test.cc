@@ -1,0 +1,229 @@
+// In-process end-to-end test of the HTTP serving surface: a real
+// InferenceService on an ephemeral loopback port, exercised through the
+// real HttpClientConnection -- actual sockets, actual wire format.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/tree_io.h"
+#include "serve/http_client.h"
+#include "serve/json.h"
+#include "serve/model_store.h"
+#include "serve/service.h"
+
+namespace smptree {
+namespace {
+
+Schema CarSchema() {
+  Schema s;
+  s.AddContinuous("age");
+  s.AddCategorical("car", 3, {"sedan", "sports", "truck"});
+  s.SetClassNames({"high", "low"});
+  return s;
+}
+
+ClassHistogram Hist(int64_t a, int64_t b) {
+  ClassHistogram h(2);
+  h.Add(0, a);
+  h.Add(1, b);
+  return h;
+}
+
+/// age < 27.5 ? high : (car in {sports} ? high : low)
+DecisionTree CarTree() {
+  DecisionTree tree(CarSchema());
+  const NodeId root = tree.CreateRoot(Hist(3, 3));
+  SplitTest age_test;
+  age_test.attr = 0;
+  age_test.threshold = 27.5f;
+  tree.SetSplit(root, age_test);
+  tree.AddChild(root, true, Hist(2, 0));
+  const NodeId right = tree.AddChild(root, false, Hist(1, 3));
+  SplitTest car_test;
+  car_test.attr = 1;
+  car_test.categorical = true;
+  car_test.subset = 0b010;
+  tree.SetSplit(right, car_test);
+  tree.AddChild(right, true, Hist(1, 0));
+  tree.AddChild(right, false, Hist(0, 3));
+  return tree;
+}
+
+DecisionTree LeafTree(ClassLabel label) {
+  DecisionTree tree(CarSchema());
+  tree.CreateRoot(label == 0 ? Hist(5, 1) : Hist(1, 5));
+  return tree;
+}
+
+class ServeHttpTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = ModelStore::Create(CarTree());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ServiceOptions options;
+    options.engine.num_workers = 2;
+    options.http.port = 0;  // ephemeral
+    options.http.num_threads = 2;
+    service_ = std::make_unique<InferenceService>(std::move(*store), options);
+    ASSERT_TRUE(service_->Start().ok());
+    client_ = std::make_unique<HttpClientConnection>("127.0.0.1",
+                                                     service_->port());
+  }
+
+  void TearDown() override {
+    client_.reset();
+    if (service_ != nullptr) service_->Stop();
+  }
+
+  HttpClientResponse Call(const std::string& method, const std::string& path,
+                          const std::string& body = "") {
+    auto response = client_->Call(method, path, body);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : HttpClientResponse{};
+  }
+
+  std::unique_ptr<InferenceService> service_;
+  std::unique_ptr<HttpClientConnection> client_;
+};
+
+TEST_F(ServeHttpTest, PredictMatchesTreeClassify) {
+  const HttpClientResponse response = Call(
+      "POST", "/v1/predict",
+      R"({"tuples": [[20, "sedan"], [40, "sports"], [40, 0], [null, "sedan"]]})");
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok()) << response.body;
+  EXPECT_EQ(doc->Find("epoch")->number_value(), 1.0);
+
+  // Mirror the wire tuples locally; missing categorical values are not a
+  // thing, but a null continuous age must take the missing-goes-left path.
+  const DecisionTree reference = CarTree();
+  const float ages[] = {20, 40, 40, kMissingValue};
+  const int32_t cars[] = {0, 1, 0, 0};
+  const auto& codes = doc->Find("codes")->array_items();
+  const auto& labels = doc->Find("labels")->array_items();
+  ASSERT_EQ(codes.size(), 4u);
+  ASSERT_EQ(labels.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    TupleValues v(2);
+    v[0].f = ages[i];
+    v[1].cat = cars[i];
+    const ClassLabel want = reference.Classify(v);
+    EXPECT_EQ(static_cast<ClassLabel>(codes[i].number_value()), want);
+    EXPECT_EQ(labels[i].string_value(), want == 0 ? "high" : "low");
+  }
+}
+
+TEST_F(ServeHttpTest, PredictRejectsBadRequests) {
+  EXPECT_EQ(Call("POST", "/v1/predict", "{not json").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/predict", R"({"rows": []})").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/predict", R"({"tuples": []})").status, 400);
+  // Wrong arity.
+  EXPECT_EQ(Call("POST", "/v1/predict", R"({"tuples": [[20]]})").status, 400);
+  // Unknown categorical value name, out-of-range code.
+  EXPECT_EQ(
+      Call("POST", "/v1/predict", R"({"tuples": [[20, "jetpack"]]})").status,
+      400);
+  EXPECT_EQ(Call("POST", "/v1/predict", R"({"tuples": [[20, 7]]})").status,
+            400);
+}
+
+TEST_F(ServeHttpTest, RoutingErrors) {
+  EXPECT_EQ(Call("GET", "/v1/nope").status, 404);
+  EXPECT_EQ(Call("GET", "/v1/predict").status, 405);  // POST-only path
+  EXPECT_EQ(Call("POST", "/healthz", "{}").status, 405);
+}
+
+TEST_F(ServeHttpTest, HealthzReportsEpoch) {
+  const HttpClientResponse response = Call("GET", "/healthz");
+  ASSERT_EQ(response.status, 200);
+  auto doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("status")->string_value(), "ok");
+  EXPECT_EQ(doc->Find("epoch")->number_value(), 1.0);
+}
+
+TEST_F(ServeHttpTest, ReloadSwapsModelAndBumpsEpoch) {
+  const std::string path = testing::TempDir() + "/http_reload.tree";
+  {
+    std::ofstream out(path);
+    out << SerializeTree(LeafTree(0));  // everything classifies "high"
+  }
+  const HttpClientResponse reload =
+      Call("POST", "/v1/reload", "{\"model\": " + JsonQuote(path) + "}");
+  ASSERT_EQ(reload.status, 200) << reload.body;
+  auto doc = ParseJson(reload.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("epoch")->number_value(), 2.0);
+  EXPECT_EQ(doc->Find("nodes")->number_value(), 1.0);
+
+  // Predictions now come from the new model at the new epoch.
+  const HttpClientResponse predict =
+      Call("POST", "/v1/predict", R"({"tuples": [[60, "sedan"]]})");
+  ASSERT_EQ(predict.status, 200);
+  auto pdoc = ParseJson(predict.body);
+  ASSERT_TRUE(pdoc.ok());
+  EXPECT_EQ(pdoc->Find("epoch")->number_value(), 2.0);
+  EXPECT_EQ(pdoc->Find("labels")->array_items()[0].string_value(), "high");
+}
+
+TEST_F(ServeHttpTest, ReloadFailureKeepsServing) {
+  EXPECT_EQ(Call("POST", "/v1/reload",
+                 R"({"model": "/nonexistent/model.tree"})")
+                .status,
+            404);
+  EXPECT_EQ(Call("POST", "/v1/reload", R"({"nope": 1})").status, 400);
+  // Still epoch 1, still answering.
+  const HttpClientResponse predict =
+      Call("POST", "/v1/predict", R"({"tuples": [[60, "sedan"]]})");
+  ASSERT_EQ(predict.status, 200);
+  EXPECT_EQ(ParseJson(predict.body)->Find("epoch")->number_value(), 1.0);
+}
+
+TEST_F(ServeHttpTest, StatzCountsTraffic) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(
+        Call("POST", "/v1/predict", R"({"tuples": [[20, 0], [40, 1]]})")
+            .status,
+        200);
+  }
+  const HttpClientResponse response = Call("GET", "/statz");
+  ASSERT_EQ(response.status, 200);
+  auto doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok()) << response.body;
+  EXPECT_EQ(doc->Find("model_epoch")->number_value(), 1.0);
+  EXPECT_EQ(doc->Find("batches")->number_value(), 3.0);
+  EXPECT_EQ(doc->Find("tuples")->number_value(), 6.0);
+  EXPECT_EQ(doc->Find("workers")->number_value(), 2.0);
+  ASSERT_NE(doc->Find("latency"), nullptr);
+  EXPECT_GE(doc->Find("latency")->Find("p99_ms")->number_value(), 0.0);
+}
+
+TEST_F(ServeHttpTest, KeepAliveServesSequentialRequests) {
+  // Same connection, many requests -- exercises the keep-alive loop.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(Call("GET", "/healthz").status, 200);
+  }
+}
+
+TEST(ServeHttpReloadDisabledTest, ReloadAnswers403) {
+  auto store = ModelStore::Create(CarTree());
+  ASSERT_TRUE(store.ok());
+  ServiceOptions options;
+  options.engine.num_workers = 1;
+  options.http.port = 0;
+  options.allow_reload = false;
+  InferenceService service(std::move(*store), options);
+  ASSERT_TRUE(service.Start().ok());
+  HttpClientConnection client("127.0.0.1", service.port());
+  auto response = client.Call("POST", "/v1/reload", R"({"model": "x"})");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 403);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace smptree

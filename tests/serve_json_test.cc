@@ -1,0 +1,83 @@
+#include "serve/json.h"
+
+#include <gtest/gtest.h>
+
+namespace smptree {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("3.5")->number_value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseJson("-12")->number_value(), -12.0);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3")->number_value(), 1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto doc = ParseJson(
+      R"({"tuples": [[1.5, "blue", null], [2, 0, 3]], "count": 2})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* tuples = doc->Find("tuples");
+  ASSERT_NE(tuples, nullptr);
+  ASSERT_TRUE(tuples->is_array());
+  ASSERT_EQ(tuples->array_items().size(), 2u);
+  const auto& first = tuples->array_items()[0].array_items();
+  EXPECT_DOUBLE_EQ(first[0].number_value(), 1.5);
+  EXPECT_EQ(first[1].string_value(), "blue");
+  EXPECT_TRUE(first[2].is_null());
+  EXPECT_DOUBLE_EQ(doc->Find("count")->number_value(), 2.0);
+}
+
+TEST(JsonTest, ParsesEscapes) {
+  auto doc = ParseJson(R"("a\"b\\c\nd\u0041")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "a\"b\\c\nd\x41");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1.2.3").ok());
+}
+
+TEST(JsonTest, RejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(ParseJson("[]")->array_items().empty());
+  EXPECT_TRUE(ParseJson("{}")->object_members().empty());
+}
+
+TEST(JsonTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonTest, NumberFormatting) {
+  EXPECT_EQ(JsonNumber(3.0), "3");
+  EXPECT_EQ(JsonNumber(-42.0), "-42");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "null");
+}
+
+TEST(JsonTest, QuoteRoundTripsThroughParser) {
+  const std::string nasty = "line1\nline2\t\"quoted\" \\slash\\";
+  auto parsed = ParseJson(JsonQuote(nasty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), nasty);
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,85 @@
+#include "serve/work_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace smptree {
+namespace {
+
+TEST(WorkQueueTest, FifoSingleThread) {
+  WorkQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(WorkQueueTest, CloseDrainsThenReportsShutdown) {
+  WorkQueue<int> q(4);
+  q.Push(7);
+  q.Close();
+  EXPECT_FALSE(q.Push(8));  // rejected after close
+  EXPECT_EQ(q.Pop(), 7);    // queued item still handed out
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(WorkQueueTest, CloseUnblocksWaitingConsumer) {
+  WorkQueue<int> q(4);
+  std::thread consumer([&q] { EXPECT_EQ(q.Pop(), std::nullopt); });
+  q.Close();
+  consumer.join();
+}
+
+TEST(WorkQueueTest, BoundedPushBlocksUntilPop) {
+  WorkQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(WorkQueueTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  WorkQueue<int> q(8);
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        std::optional<int> v = q.Pop();
+        if (!v.has_value()) return;
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  // Join the producers, then close so the consumers drain and exit.
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), int64_t{n} * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,0 +1,96 @@
+#!/bin/sh
+# End-to-end test of the serving stack as real processes: train two models
+# with the CLI, serve the first over HTTP, drive it with the load generator
+# (which verifies every response against a local Classify of the same
+# model), hot-reload to the second model, and confirm the epoch bump and a
+# clean SIGTERM shutdown.
+# Invoked by ctest as: serve_workflow_test.sh CLI SERVE LOADGEN
+set -e
+
+CLI="$1"
+SERVE="$2"
+LOADGEN="$3"
+DIR=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  [ -f "$DIR/server.log" ] && cat "$DIR/server.log" >&2
+  exit 1
+}
+
+# --- train two models over the same schema ---
+"$CLI" gen --function 5 --attrs 9 --tuples 1500 \
+  --out "$DIR/data.csv" --schema-out "$DIR/schema.txt" || fail "gen A"
+"$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --model "$DIR/model_a.tree" > /dev/null || fail "train A"
+# Same generator (same schema), noisier data + pruning -> a different tree.
+"$CLI" gen --function 5 --attrs 9 --tuples 1000 --noise 0.08 \
+  --out "$DIR/data_b.csv" --schema-out "$DIR/schema_b.txt" || fail "gen B"
+"$CLI" train --schema "$DIR/schema_b.txt" --data "$DIR/data_b.csv" \
+  --prune cost --model "$DIR/model_b.tree" > /dev/null || fail "train B"
+
+# --- start the server on an ephemeral port ---
+"$SERVE" --schema "$DIR/schema.txt" --model "$DIR/model_a.tree" \
+  --port 0 --workers 2 --http-threads 2 > "$DIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+tries=0
+while [ -z "$PORT" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "server never printed its port"
+  kill -0 "$SERVER_PID" 2> /dev/null || fail "server exited early"
+  PORT=$(sed -n 's/^listening on \([0-9][0-9]*\)$/\1/p' "$DIR/server.log")
+  [ -z "$PORT" ] && sleep 0.1
+done
+
+# --- health check ---
+"$LOADGEN" --port "$PORT" --op healthz > "$DIR/healthz.out" || fail "healthz"
+grep -q '"epoch": 1' "$DIR/healthz.out" || fail "healthz epoch 1"
+
+# --- predict load, every response verified against a local Classify ---
+"$LOADGEN" --port "$PORT" --op predict --schema "$DIR/schema.txt" \
+  --data "$DIR/data.csv" --model "$DIR/model_a.tree" \
+  --batch 16 --concurrency 4 --requests 80 > "$DIR/predict_a.out" \
+  || fail "predict against model A"
+grep -q "errors=0 mismatches=0" "$DIR/predict_a.out" \
+  || fail "predict A had errors or mismatches"
+
+# --- hot reload to model B ---
+"$LOADGEN" --port "$PORT" --op reload --model "$DIR/model_b.tree" \
+  > "$DIR/reload.out" || fail "reload"
+grep -q '"epoch": 2' "$DIR/reload.out" || fail "reload epoch bump"
+
+"$LOADGEN" --port "$PORT" --op statz > "$DIR/statz.out" || fail "statz"
+grep -q '"model_epoch": 2' "$DIR/statz.out" || fail "statz epoch 2"
+grep -q '"reloads": 1' "$DIR/statz.out" || fail "statz reload count"
+
+# --- predictions now come from model B ---
+"$LOADGEN" --port "$PORT" --op predict --schema "$DIR/schema.txt" \
+  --data "$DIR/data.csv" --model "$DIR/model_b.tree" \
+  --batch 16 --concurrency 2 --requests 20 > "$DIR/predict_b.out" \
+  || fail "predict against model B"
+grep -q "errors=0 mismatches=0" "$DIR/predict_b.out" \
+  || fail "predict B had errors or mismatches"
+
+# --- a bad reload must not take the server down ---
+if "$LOADGEN" --port "$PORT" --op reload --model "$DIR/nonexistent.tree" \
+  > /dev/null 2>&1; then
+  fail "reload of a missing model reported success"
+fi
+"$LOADGEN" --port "$PORT" --op healthz | grep -q '"status": "ok"' \
+  || fail "server unhealthy after failed reload"
+
+# --- clean shutdown on SIGTERM ---
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then :; else fail "server exited non-zero"; fi
+SERVER_PID=""
+grep -q "shutting down" "$DIR/server.log" || fail "no shutdown banner"
+
+echo "serve workflow OK"

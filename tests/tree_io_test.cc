@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
+#include <vector>
+
 #include "core/classifier.h"
 #include "data/synthetic.h"
 
@@ -89,6 +93,100 @@ TEST(TreeIoTest, RoundTripTrainedTree) {
   // Classification behaviour must survive the round trip.
   for (int64_t t = 0; t < 200; ++t) {
     EXPECT_EQ(trained->tree->Classify(*data, t), parsed->Classify(*data, t));
+  }
+}
+
+// The serving path depends on deserialization being exact for every shape
+// a trained-then-pruned model can take; the next few tests pin the edge
+// cases down one by one.
+
+TEST(TreeIoTest, RoundTripBigSubsetSplit) {
+  // Categorical cardinality > 64 forces the BigSubset bit-mask path.
+  Schema schema;
+  schema.AddCategorical("zip", 100);
+  schema.SetClassNames({"yes", "no"});
+  DecisionTree tree(schema);
+  const NodeId root = tree.CreateRoot(Hist(4, 4));
+  SplitTest t;
+  t.attr = 0;
+  t.categorical = true;
+  auto words = std::make_shared<std::vector<uint64_t>>(2, 0);
+  (*words)[0] = 0x8000000000000001ull;  // codes 0 and 63
+  (*words)[1] = 0x1ull << 35;           // code 99
+  t.big_subset = BigSubset(std::move(words));
+  tree.SetSplit(root, t);
+  tree.AddChild(root, true, Hist(4, 0));
+  tree.AddChild(root, false, Hist(0, 4));
+
+  auto parsed = DeserializeTree(schema, SerializeTree(tree));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreesEqual(tree, *parsed));
+  const SplitTest& round = parsed->node(0).split;
+  ASSERT_NE(round.big_subset, nullptr);
+  EXPECT_TRUE(round.SubsetContains(0));
+  EXPECT_TRUE(round.SubsetContains(63));
+  EXPECT_TRUE(round.SubsetContains(99));
+  EXPECT_FALSE(round.SubsetContains(1));
+  EXPECT_FALSE(round.SubsetContains(64));
+}
+
+TEST(TreeIoTest, RoundTripCollapsedSubtree) {
+  // MakeLeaf + CompactAfterPrune is what pruning leaves behind: a node
+  // that used to be internal, now a leaf, with the orphans compacted away.
+  DecisionTree tree = SmallTree();
+  tree.MakeLeaf(tree.node(tree.root()).right);
+  tree.CompactAfterPrune();
+  ASSERT_EQ(tree.num_nodes(), 3);
+  auto parsed = DeserializeTree(CarSchema(), SerializeTree(tree));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreesEqual(tree, *parsed));
+  EXPECT_TRUE(parsed->Validate().ok());
+  EXPECT_TRUE(parsed->node(parsed->node(0).right).is_leaf());
+}
+
+TEST(TreeIoTest, RoundTripPrunedTrainedTree) {
+  // End-to-end: noisy training data + cost-complexity pruning produces a
+  // tree with collapsed subtrees; the round trip must stay bit-identical
+  // in both structure and behaviour.
+  SyntheticConfig cfg;
+  cfg.function = 2;
+  cfg.num_tuples = 1500;
+  cfg.label_noise = 0.08;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+  ClassifierOptions options;
+  options.prune.method = PruneOptions::Method::kCostComplexity;
+  auto trained = TrainClassifier(*data, options);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  ASSERT_GT(trained->stats.nodes_pruned, 0) << "test needs a pruned tree";
+  auto parsed =
+      DeserializeTree(data->schema(), SerializeTree(*trained->tree));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreesEqual(*trained->tree, *parsed));
+  EXPECT_TRUE(parsed->Validate().ok());
+  for (int64_t t = 0; t < data->num_tuples(); ++t) {
+    ASSERT_EQ(trained->tree->Classify(*data, t), parsed->Classify(*data, t));
+  }
+}
+
+TEST(TreeIoTest, RoundTripExtremeThresholds) {
+  // Denormals, the missing-value sentinel (lowest float), and negative
+  // zero all serialize as raw bits; parsing must reproduce them exactly.
+  for (const float threshold :
+       {1e-42f, kMissingValue, -0.0f, 3.4028235e+38f}) {
+    DecisionTree tree(CarSchema());
+    tree.CreateRoot(Hist(1, 1));
+    SplitTest t;
+    t.attr = 0;
+    t.threshold = threshold;
+    tree.SetSplit(tree.root(), t);
+    tree.AddChild(tree.root(), true, Hist(1, 0));
+    tree.AddChild(tree.root(), false, Hist(0, 1));
+    auto parsed = DeserializeTree(CarSchema(), SerializeTree(tree));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const float round = parsed->node(0).split.threshold;
+    EXPECT_EQ(std::memcmp(&round, &threshold, sizeof(float)), 0)
+        << "threshold " << threshold << " not bit-exact";
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 namespace smptree {
@@ -199,6 +200,33 @@ TEST(DecisionTreeTest, ConcurrentAddChildIsSafe) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(tree.num_nodes(), 1 + 4 + 4 * 200);
+}
+
+// The serving contract documented in tree.h: a fully-built, published tree
+// supports unlimited lock-free concurrent readers. Run under TSan in CI,
+// this is the audit that no reader lazily mutates state.
+TEST(DecisionTreeTest, ConcurrentReadersAreSafe) {
+  const DecisionTree tree = BuildCarTree();
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&tree, &failures, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const float age = static_cast<float>((i * 7 + t * 13) % 60);
+        const int32_t car = (i + t) % 3;
+        const ClassLabel got = tree.Classify(Tuple(age, car));
+        const ClassLabel want =
+            age < 27.5f ? 0 : (car == 1 ? 0 : 1);
+        if (got != want) failures.fetch_add(1);
+        if (i % 500 == 0) {
+          if (!tree.Validate().ok()) failures.fetch_add(1);
+          if (tree.Stats().num_leaves != 3) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

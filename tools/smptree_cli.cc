@@ -8,6 +8,8 @@
 //                     --threads 4 --model model.tree [--prune cost] [--env disk]
 //   smptree_cli eval  --schema schema.txt --model model.tree --data test.csv
 //   smptree_cli show  --schema schema.txt --model model.tree --format dot
+//   smptree_cli predict --schema schema.txt --model model.tree
+//                     --data tuples.csv --out labels.csv
 //
 // Exit status is 0 on success, 1 on any error (message on stderr).
 
@@ -20,6 +22,7 @@
 
 #include "core/classifier.h"
 #include "core/dot_export.h"
+#include "serve/model_store.h"
 #include "core/metrics.h"
 #include "core/sql_export.h"
 #include "core/tree_io.h"
@@ -50,7 +53,8 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: smptree_cli <gen|train|eval|show> [--flag value]...\n"
+               "usage: smptree_cli <gen|train|eval|show|predict>"
+               " [--flag value]...\n"
                "  gen:   --function N [--classes K] [--attrs A] [--tuples N]\n"
                "         [--seed S] [--noise P] --out DATA.csv [--schema-out F]\n"
                "  train: --schema F --data F --model F [--algorithm serial|\n"
@@ -59,7 +63,8 @@ int Usage() {
                "         [--env mem|disk] [--min-split N] [--max-levels N]\n"
                "         [--criterion gini|entropy]\n"
                "  eval:  --schema F --model F --data F\n"
-               "  show:  --schema F --model F [--format text|sql|dot]\n");
+               "  show:  --schema F --model F [--format text|sql|dot]\n"
+               "  predict: --schema F --model F --data F [--out F]\n");
   return 1;
 }
 
@@ -285,6 +290,37 @@ int RunShow(const Flags& flags) {
   return 0;
 }
 
+int RunPredict(const Flags& flags) {
+  // Scores a CSV with the model and writes one predicted class name per
+  // line. Loads the model through ModelStore::LoadTreeFile -- the same
+  // validated load path the inference server uses -- so a model that
+  // serves is exactly a model this subcommand accepts, and vice versa.
+  // The input uses the standard CSV layout; its label column is ignored.
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status().ToString());
+  const std::string model_path = GetFlag(flags, "model");
+  if (model_path.empty()) return Fail("predict needs --model");
+  auto tree = ModelStore::LoadTreeFile(data->schema(), model_path);
+  if (!tree.ok()) return Fail(tree.status().ToString());
+
+  std::string out = "class\n";
+  for (int64_t t = 0; t < data->num_tuples(); ++t) {
+    const ClassLabel label = tree->Classify(*data, t);
+    out += data->schema().class_name(label);
+    out += "\n";
+  }
+  const std::string out_path = GetFlag(flags, "out");
+  if (out_path.empty()) {
+    std::printf("%s", out.c_str());
+    return 0;
+  }
+  Status s = WriteFile(out_path, out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("wrote %lld predictions to %s\n",
+              static_cast<long long>(data->num_tuples()), out_path.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -297,6 +333,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return RunTrain(*flags);
   if (command == "eval") return RunEval(*flags);
   if (command == "show") return RunShow(*flags);
+  if (command == "predict") return RunPredict(*flags);
   return Usage();
 }
 

@@ -1,0 +1,254 @@
+// smptree_loadgen: closed-loop load generator and swiss-army HTTP client
+// for the inference server.
+//
+//   smptree_loadgen --port N --op predict --schema F --data F
+//                   [--batch 32] [--concurrency 4] [--requests 200]
+//                   [--model F]            # verify labels against the tree
+//   smptree_loadgen --port N --op reload --model PATH
+//   smptree_loadgen --port N --op healthz|statz
+//
+// predict: `concurrency` client threads each hold one keep-alive
+// connection and replay batches of CSV rows until `requests` requests have
+// been sent (closed loop: the next request leaves only when the previous
+// response arrived). Prints throughput and a latency histogram. With
+// --model, every response's label codes are checked against a local
+// Tree::Classify of the same rows -- the end-to-end exactness check.
+// Exit status: 0 iff every request succeeded (and verification passed).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tree_io.h"
+#include "data/csv.h"
+#include "data/schema_io.h"
+#include "serve/http_client.h"
+#include "serve/json.h"
+#include "serve/latency_histogram.h"
+#include "serve/model_store.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace smptree {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: smptree_loadgen --port N --op predict|reload|healthz|statz\n"
+      "  [--host A] [--schema F] [--data F] [--batch N] [--concurrency N]\n"
+      "  [--requests N] [--model F]\n");
+  return 1;
+}
+
+/// Builds the predict request body for rows [begin, begin+count) of `data`.
+std::string PredictBody(const Dataset& data, int64_t begin, int64_t count) {
+  std::string body = "{\"tuples\": [";
+  for (int64_t t = 0; t < count; ++t) {
+    if (t > 0) body += ",";
+    body += "[";
+    const int64_t row = begin + t;
+    for (int a = 0; a < data.num_attrs(); ++a) {
+      if (a > 0) body += ",";
+      const AttrValue v = data.value(row, a);
+      if (data.schema().attr(a).is_categorical()) {
+        body += StringPrintf("%d", v.cat);
+      } else if (IsMissing(v.f)) {
+        body += "null";
+      } else {
+        body += StringPrintf("%.9g", static_cast<double>(v.f));
+      }
+    }
+    body += "]";
+  }
+  body += "]}";
+  return body;
+}
+
+struct PredictShared {
+  const Dataset* data = nullptr;
+  const DecisionTree* verify_tree = nullptr;  ///< nullptr: skip verification
+  std::string host;
+  uint16_t port = 0;
+  int64_t batch = 32;
+  int64_t requests = 200;
+  std::atomic<int64_t> next_request{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> tuples{0};
+  LatencyHistogram latency;
+};
+
+void PredictClient(PredictShared* shared) {
+  HttpClientConnection conn(shared->host, shared->port);
+  const int64_t n = shared->data->num_tuples();
+  for (;;) {
+    const int64_t i = shared->next_request.fetch_add(1);
+    if (i >= shared->requests) return;
+    const int64_t count = std::min(shared->batch, n);
+    const int64_t begin = (i * count) % (n - count + 1);
+    const std::string body = PredictBody(*shared->data, begin, count);
+
+    Timer timer;
+    auto response = conn.Call("POST", "/v1/predict", body);
+    shared->latency.Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
+    if (!response.ok() || response->status != 200) {
+      shared->errors.fetch_add(1);
+      if (!response.ok()) {
+        std::fprintf(stderr, "request %lld: %s\n", static_cast<long long>(i),
+                     response.status().ToString().c_str());
+      } else {
+        std::fprintf(stderr, "request %lld: HTTP %d: %s",
+                     static_cast<long long>(i), response->status,
+                     response->body.c_str());
+      }
+      continue;
+    }
+    shared->tuples.fetch_add(static_cast<uint64_t>(count));
+    if (shared->verify_tree == nullptr) continue;
+
+    auto doc = ParseJson(response->body);
+    const JsonValue* codes = doc.ok() ? doc->Find("codes") : nullptr;
+    if (codes == nullptr || !codes->is_array() ||
+        static_cast<int64_t>(codes->array_items().size()) != count) {
+      shared->mismatches.fetch_add(1);
+      continue;
+    }
+    TupleValues row;
+    for (int64_t t = 0; t < count; ++t) {
+      row = shared->data->Tuple(begin + t);
+      const ClassLabel expected = shared->verify_tree->Classify(row);
+      const double got = codes->array_items()[static_cast<size_t>(t)]
+                             .number_value();
+      if (static_cast<ClassLabel>(got) != expected) {
+        shared->mismatches.fetch_add(1);
+        std::fprintf(stderr,
+                     "request %lld row %lld: server said %d, tree says %d\n",
+                     static_cast<long long>(i), static_cast<long long>(t),
+                     static_cast<int>(got), static_cast<int>(expected));
+      }
+    }
+  }
+}
+
+int RunPredict(const std::map<std::string, std::string>& flags,
+               const std::string& host, uint16_t port) {
+  const auto get = [&](const std::string& name) {
+    const auto it = flags.find(name);
+    return it == flags.end() ? std::string() : it->second;
+  };
+  if (get("schema").empty() || get("data").empty()) {
+    return Fail("predict needs --schema and --data");
+  }
+  auto schema = ReadSchemaFile(get("schema"));
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  auto data = ReadCsv(*schema, get("data"));
+  if (!data.ok()) return Fail(data.status().ToString());
+  if (data->num_tuples() == 0) return Fail("no tuples in --data");
+
+  PredictShared shared;
+  shared.data = &*data;
+  shared.host = host;
+  shared.port = port;
+
+  int64_t concurrency = 4;
+  const auto parse = [&](const std::string& name, int64_t* out) {
+    return get(name).empty() || ParseInt64(get(name), out);
+  };
+  if (!parse("batch", &shared.batch) || !parse("requests", &shared.requests) ||
+      !parse("concurrency", &concurrency) || shared.batch < 1 ||
+      shared.requests < 1 || concurrency < 1) {
+    return Fail("bad numeric flag");
+  }
+
+  Result<DecisionTree> verify_tree = Status::NotFound("unused");
+  if (!get("model").empty()) {
+    verify_tree = ModelStore::LoadTreeFile(*schema, get("model"));
+    if (!verify_tree.ok()) return Fail(verify_tree.status().ToString());
+    shared.verify_tree = &*verify_tree;
+  }
+
+  Timer elapsed;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(concurrency));
+  for (int64_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back(PredictClient, &shared);
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = elapsed.Seconds();
+
+  const uint64_t errors = shared.errors.load();
+  const uint64_t mismatches = shared.mismatches.load();
+  std::printf(
+      "op=predict requests=%lld concurrency=%lld batch=%lld errors=%llu "
+      "mismatches=%llu\n"
+      "elapsed=%.3fs throughput=%.1f req/s %.1f tuples/s\n"
+      "latency: %s\n%s",
+      static_cast<long long>(shared.requests),
+      static_cast<long long>(concurrency),
+      static_cast<long long>(shared.batch),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(mismatches), seconds,
+      static_cast<double>(shared.requests) / seconds,
+      static_cast<double>(shared.tuples.load()) / seconds,
+      shared.latency.Summary().c_str(), shared.latency.ToAscii().c_str());
+  return errors == 0 && mismatches == 0 ? 0 : 1;
+}
+
+int RunSimpleOp(const std::string& op,
+                const std::map<std::string, std::string>& flags,
+                const std::string& host, uint16_t port) {
+  HttpClientConnection conn(host, port);
+  Result<HttpClientResponse> response = Status::Internal("unreachable");
+  if (op == "reload") {
+    const auto it = flags.find("model");
+    if (it == flags.end()) return Fail("reload needs --model");
+    response =
+        conn.Call("POST", "/v1/reload", "{\"model\": " + JsonQuote(it->second) + "}");
+  } else if (op == "healthz" || op == "statz") {
+    response = conn.Call("GET", "/" + op, "");
+  } else {
+    return Usage();
+  }
+  if (!response.ok()) return Fail(response.status().ToString());
+  std::printf("%s", response->body.c_str());
+  return response->status == 200 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) return Usage();
+    flags[arg.substr(2)] = argv[++i];
+  }
+  const auto host_it = flags.find("host");
+  const std::string host =
+      host_it == flags.end() ? "127.0.0.1" : host_it->second;
+  int64_t port = 0;
+  const auto port_it = flags.find("port");
+  if (port_it == flags.end() || !ParseInt64(port_it->second, &port) ||
+      port < 1 || port > 65535) {
+    return Fail("--port is required (1..65535)");
+  }
+  const auto op_it = flags.find("op");
+  const std::string op = op_it == flags.end() ? "predict" : op_it->second;
+  if (op == "predict") {
+    return RunPredict(flags, host, static_cast<uint16_t>(port));
+  }
+  return RunSimpleOp(op, flags, host, static_cast<uint16_t>(port));
+}
+
+}  // namespace
+}  // namespace smptree
+
+int main(int argc, char** argv) { return smptree::Main(argc, argv); }
