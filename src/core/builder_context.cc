@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cassert>
 #include <filesystem>
+#include <limits>
+#include <span>
 
 #include "util/string_util.h"
 
@@ -32,6 +34,9 @@ Status BuildOptions::Validate() const {
   if (min_split < 1) return Status::InvalidArgument("min_split < 1");
   if (max_levels < 0) return Status::InvalidArgument("max_levels < 0");
   if (sort_threads < 1) return Status::InvalidArgument("sort_threads < 1");
+  if (split_buffer_records < 0) {
+    return Status::InvalidArgument("split_buffer_records < 0");
+  }
   if (gini.max_exhaustive_cardinality < 1 ||
       gini.max_exhaustive_cardinality > 20) {
     return Status::InvalidArgument(
@@ -258,6 +263,14 @@ Status BuildContext::SplitAttribute(int attr,
     return false;
   }();
   uint64_t moved = 0;
+  // Probe lookups hit effectively random bit-vector words (tids arrive in
+  // attribute-value order), so the loop prefetches the probe word this many
+  // records ahead of the lookup it pairs with.
+  constexpr size_t kProbePrefetchDistance = 16;
+  const size_t buffer_cap =
+      options_.split_buffer_records > 0
+          ? static_cast<size_t>(options_.split_buffer_records)
+          : std::numeric_limits<size_t>::max();
   SegmentBuffer buf;
   std::vector<AttrRecord> batch[2];
   for (const LeafTask& leaf : level) {
@@ -266,13 +279,23 @@ Status BuildContext::SplitAttribute(int attr,
     }
     SMPTREE_RETURN_IF_ERROR(storage->ReadSegment(attr, leaf.seg, &buf));
     const bool is_winner_attr = leaf.winner.test.attr == attr;
-    // Partition into local batches first: the two children may share a slot
-    // file (window K=1, or holes in the no-relabel ablation), and segments
-    // must stay contiguous, so each child's records are appended as one
-    // run -- left child first, matching AssignChildSlots order.
+    // Children's records are buffered per side and streamed into the
+    // alternate files in bounded runs. Segments must stay contiguous: when
+    // both children share a slot file (window K=1, or holes in the
+    // no-relabel ablation) the left child's run must fully precede the
+    // right child's -- matching AssignChildSlots order -- so only the left
+    // buffer may drain mid-leaf there; the right side then buffers in full.
+    const bool shared_slot = leaf.child_active[0] && leaf.child_active[1] &&
+                             leaf.child_seg[0].slot == leaf.child_seg[1].slot;
+    const bool may_stream[2] = {true, !shared_slot};
     batch[0].clear();
     batch[1].clear();
-    for (const AttrRecord& rec : buf.records()) {
+    const std::span<const AttrRecord> records = buf.records();
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (!is_winner_attr && i + kProbePrefetchDistance < records.size()) {
+        probe_.Prefetch(records[i + kProbePrefetchDistance].tid);
+      }
+      const AttrRecord& rec = records[i];
       // The winning attribute is partitioned by applying the split test
       // directly (paper section 2.3); the losing attributes consult the
       // probe structure on the tid.
@@ -281,6 +304,12 @@ Status BuildContext::SplitAttribute(int attr,
       const int side = left ? 0 : 1;
       if (!leaf.child_active[side]) continue;
       batch[side].push_back(rec);
+      if (batch[side].size() >= buffer_cap && may_stream[side]) {
+        SMPTREE_RETURN_IF_ERROR(storage->AppendChild(
+            attr, leaf.child_seg[side].slot, batch[side]));
+        moved += batch[side].size();
+        batch[side].clear();
+      }
     }
     for (int side = 0; side < 2; ++side) {
       if (batch[side].empty()) continue;

@@ -5,16 +5,13 @@
 
 namespace smptree {
 
-namespace {
-
-/// Midpoint between two consecutive distinct float values, nudged so that
-/// `lo < mid <= hi` holds even when rounding collapses the midpoint onto
-/// `lo` (then the test `value < mid` still separates lo from hi).
 float SplitMidpoint(float lo, float hi) {
   assert(lo < hi);
   const float mid = lo + (hi - lo) * 0.5f;
   return mid > lo ? mid : hi;
 }
+
+namespace {
 
 /// Evaluates one categorical subset mask against the count matrix,
 /// tightening `best` when the partition is proper and strictly better.
@@ -40,17 +37,19 @@ void ConsiderSubset(int attr, uint64_t mask, const CountMatrix& matrix,
 
 }  // namespace
 
-SplitCandidate EvaluateContinuousAttr(int attr,
-                                      std::span<const AttrRecord> records,
-                                      const ClassHistogram& total,
-                                      const GiniOptions& options,
-                                      GiniScratch* scratch) {
+SplitCandidate ReferenceEvaluateContinuousAttr(
+    int attr, std::span<const AttrRecord> records, const ClassHistogram& total,
+    const GiniOptions& options, GiniScratch* scratch) {
   SplitCandidate best;
   const size_t n = records.size();
   if (n < 2) return best;
 
   scratch->below.Reset(total.num_classes());
   scratch->above = total;
+  // Hoisted out of the loop: the side totals follow the scan position
+  // (below holds i+1 records), so no candidate needs a Total() pass over
+  // the histograms.
+  const int64_t n_total = total.Total();
 
   for (size_t i = 0; i + 1 < n; ++i) {
     const AttrRecord& rec = records[i];
@@ -60,18 +59,32 @@ SplitCandidate EvaluateContinuousAttr(int attr,
     const float next = records[i + 1].value.f;
     assert(v <= next && "continuous attribute list must be sorted");
     if (v == next) continue;  // not a class boundary between equal values
-    const double gini =
-        SplitImpurity(scratch->below, scratch->above, options.criterion);
+    const int64_t nl = static_cast<int64_t>(i) + 1;
+    const double gini = SplitImpurityWithTotals(
+        scratch->below, scratch->above, nl, n_total - nl, options.criterion);
     SplitCandidate candidate;
     candidate.test.attr = attr;
     candidate.test.categorical = false;
     candidate.test.threshold = SplitMidpoint(v, next);
     candidate.gini = gini;
-    candidate.left_count = static_cast<int64_t>(i) + 1;
+    candidate.left_count = nl;
     candidate.right_count = static_cast<int64_t>(n - i) - 1;
     if (candidate.BetterThan(best)) best = candidate;
   }
   return best;
+}
+
+SplitCandidate EvaluateContinuousAttr(int attr,
+                                      std::span<const AttrRecord> records,
+                                      const ClassHistogram& total,
+                                      const GiniOptions& options,
+                                      GiniScratch* scratch) {
+  if (options.use_kernels) {
+    return KernelEvaluateContinuousAttr(attr, records, total, options,
+                                        scratch);
+  }
+  return ReferenceEvaluateContinuousAttr(attr, records, total, options,
+                                         scratch);
 }
 
 namespace {
@@ -239,12 +252,9 @@ SplitCandidate EvaluateCategoricalLargeAttr(
   return LargeFromMatrix(attr, matrix, total, SplitCriterion::kGini);
 }
 
-SplitCandidate EvaluateCategoricalAttr(int attr,
-                                       std::span<const AttrRecord> records,
-                                       const ClassHistogram& total,
-                                       int cardinality,
-                                       const GiniOptions& options,
-                                       GiniScratch* scratch) {
+SplitCandidate ReferenceEvaluateCategoricalAttr(
+    int attr, std::span<const AttrRecord> records, const ClassHistogram& total,
+    int cardinality, const GiniOptions& options, GiniScratch* scratch) {
   assert(cardinality >= 1 && cardinality <= kMaxCategoricalCardinality);
   if (records.size() < 2) return SplitCandidate();
   CountMatrix& matrix = scratch->matrix;
@@ -253,6 +263,20 @@ SplitCandidate EvaluateCategoricalAttr(int attr,
     matrix.Add(rec.value.cat, rec.label);
   }
   return EvaluateCategoricalFromMatrix(attr, matrix, total, options, scratch);
+}
+
+SplitCandidate EvaluateCategoricalAttr(int attr,
+                                       std::span<const AttrRecord> records,
+                                       const ClassHistogram& total,
+                                       int cardinality,
+                                       const GiniOptions& options,
+                                       GiniScratch* scratch) {
+  if (options.use_kernels) {
+    return KernelEvaluateCategoricalAttr(attr, records, total, cardinality,
+                                         options, scratch);
+  }
+  return ReferenceEvaluateCategoricalAttr(attr, records, total, cardinality,
+                                          options, scratch);
 }
 
 SplitCandidate EvaluateAttr(const Schema& schema, int attr,

@@ -10,6 +10,7 @@
 
 #include <span>
 
+#include "core/gini_kernels.h"
 #include "core/histogram.h"
 #include "core/split.h"
 #include "data/schema.h"
@@ -23,6 +24,10 @@ struct GiniOptions {
   int max_exhaustive_cardinality = 12;
   /// Impurity measure: gini (SPRINT / the paper) or entropy (extension).
   SplitCriterion criterion = SplitCriterion::kGini;
+  /// Selects the vectorized SoA kernels (core/gini_kernels.h) for the E
+  /// phase. The reference evaluators remain the oracle: the kernels must
+  /// reproduce their winner on any input, so this only trades speed.
+  bool use_kernels = true;
 };
 
 /// Largest categorical domain the library accepts (bounds the per-leaf
@@ -35,11 +40,19 @@ struct GiniScratch {
   ClassHistogram below;
   ClassHistogram above;
   CountMatrix matrix;
+  ScanColumns columns;  ///< SoA buffers for the kernel path
 };
+
+/// Midpoint between two consecutive distinct float values, nudged so that
+/// `lo < mid <= hi` holds even when rounding collapses the midpoint onto
+/// `lo` (then the test `value < mid` still separates lo from hi). Shared by
+/// the reference evaluator and the kernels so thresholds agree exactly.
+float SplitMidpoint(float lo, float hi);
 
 /// Evaluates the best split of a *sorted* continuous attribute list.
 /// `total` is the leaf's class histogram. Returns an invalid candidate when
-/// all values are equal.
+/// all values are equal. Dispatches to the kernel or reference path per
+/// `options.use_kernels`.
 SplitCandidate EvaluateContinuousAttr(int attr,
                                       std::span<const AttrRecord> records,
                                       const ClassHistogram& total,
@@ -49,13 +62,22 @@ SplitCandidate EvaluateContinuousAttr(int attr,
 /// Evaluates the best subset split of a categorical attribute list (order
 /// irrelevant). Returns an invalid candidate when fewer than two distinct
 /// values are present. Cardinalities above 64 take the large-domain greedy
-/// path and return BigSubset tests.
+/// path and return BigSubset tests. Dispatches per `options.use_kernels`.
 SplitCandidate EvaluateCategoricalAttr(int attr,
                                        std::span<const AttrRecord> records,
                                        const ClassHistogram& total,
                                        int cardinality,
                                        const GiniOptions& options,
                                        GiniScratch* scratch);
+
+/// The scalar reference evaluators: the oracle the kernels are verified
+/// against (and the path selected by `use_kernels = false`).
+SplitCandidate ReferenceEvaluateContinuousAttr(
+    int attr, std::span<const AttrRecord> records, const ClassHistogram& total,
+    const GiniOptions& options, GiniScratch* scratch);
+SplitCandidate ReferenceEvaluateCategoricalAttr(
+    int attr, std::span<const AttrRecord> records, const ClassHistogram& total,
+    int cardinality, const GiniOptions& options, GiniScratch* scratch);
 
 /// Large-domain (cardinality > 64) greedy subsetting with incremental
 /// histograms; exposed for tests.

@@ -1,0 +1,343 @@
+#include "core/gini_kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/gini.h"
+
+namespace smptree {
+
+void ScanColumns::BuildContinuous(std::span<const AttrRecord> records) {
+  const size_t n = records.size();
+  values.resize(n);
+  labels.resize(n);
+  const AttrRecord* rec = records.data();
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = rec[i].value.f;
+    labels[i] = rec[i].label;
+  }
+}
+
+namespace {
+
+/// Block length for the boundary pre-check. Small enough that a block of
+/// values + labels stays in L1, large enough to amortize the second pass
+/// over blocks that do contain a boundary.
+constexpr size_t kScanBlock = 128;
+
+/// True when [first, limit) of the value column contains at least one
+/// boundary (values[j] != values[j+1]). Branch-light: a pure OR-reduction
+/// the compiler vectorizes; boundary-free runs of equal values (the common
+/// case on low-cardinality numeric data) never reach the scalar loop.
+inline bool BlockHasBoundary(const float* values, size_t first, size_t limit) {
+  uint32_t any = 0;
+  for (size_t j = first; j < limit; ++j) {
+    any |= static_cast<uint32_t>(values[j] != values[j + 1]);
+  }
+  return any != 0;
+}
+
+/// Two-class gini sweep: the entire scan state is four integers (records
+/// and class-1 count on each side), so boundary scoring is two divisions.
+/// Selection maximizes m = sum_l/n_l + sum_r/n_r, which minimizes
+/// gini = 1 - m/n; the winner's gini is then recomputed with the exact
+/// reference formula so the reported double is bit-identical to the
+/// reference evaluator's.
+SplitCandidate TwoClassGiniScan(int attr, const ScanColumns& cols,
+                                const ClassHistogram& total,
+                                GiniScratch* scratch) {
+  const size_t n = cols.values.size();
+  const float* values = cols.values.data();
+  const uint16_t* labels = cols.labels.data();
+  const int64_t n_total = total.Total();
+  const int64_t t1 = total.count(1);
+
+  // Counts fit int64 squares for any 32-bit-tid training set region.
+  int64_t b1 = 0;  // class-1 records at or below the scan position
+  size_t best_i = static_cast<size_t>(-1);
+  int64_t best_b1 = 0;
+  double best_m = -1.0;  // m is always positive
+
+  const size_t scan_n = n - 1;  // boundaries lie between i and i+1
+  size_t i = 0;
+  while (i < scan_n) {
+    const size_t block_end = std::min(i + kScanBlock, scan_n);
+    if (!BlockHasBoundary(values, i, block_end)) {
+      int64_t acc = 0;
+      for (size_t j = i; j < block_end; ++j) acc += labels[j];
+      b1 += acc;
+      i = block_end;
+      continue;
+    }
+    for (; i < block_end; ++i) {
+      b1 += labels[i];
+      assert(values[i] <= values[i + 1] &&
+             "continuous attribute list must be sorted");
+      if (values[i] == values[i + 1]) continue;
+      const int64_t nl = static_cast<int64_t>(i) + 1;
+      const int64_t nr = n_total - nl;
+      const int64_t b0 = nl - b1;
+      const int64_t a1 = t1 - b1;
+      const int64_t a0 = nr - a1;
+      const double sl = static_cast<double>(b0 * b0 + b1 * b1);
+      const double sr = static_cast<double>(a0 * a0 + a1 * a1);
+      const double m =
+          sl / static_cast<double>(nl) + sr / static_cast<double>(nr);
+      if (m > best_m) {
+        best_m = m;
+        best_i = i;
+        best_b1 = b1;
+      }
+    }
+  }
+
+  SplitCandidate best;
+  if (best_i == static_cast<size_t>(-1)) return best;
+  const int64_t nl = static_cast<int64_t>(best_i) + 1;
+  scratch->below.Reset(2);
+  scratch->below.Add(0, nl - best_b1);
+  scratch->below.Add(1, best_b1);
+  scratch->above = total;
+  scratch->above.Subtract(scratch->below);
+  best.test.attr = attr;
+  best.test.categorical = false;
+  best.test.threshold = SplitMidpoint(values[best_i], values[best_i + 1]);
+  best.gini = SplitImpurityWithTotals(scratch->below, scratch->above, nl,
+                                      n_total - nl, SplitCriterion::kGini);
+  best.left_count = nl;
+  best.right_count = static_cast<int64_t>(n) - nl;
+  return best;
+}
+
+/// Multi-class gini sweep carrying sum(count_c^2) for both sides: moving one
+/// record of class c across the boundary changes the below sum by
+/// (b_c)^2 - (b_c - 1)^2 = 2 b_c - 1 and the above sum by -(2 a_c + 1), so
+/// each record costs O(1) and each boundary two divisions. The winner's gini
+/// is recomputed with the reference formula from a snapshot of the
+/// below-boundary counts.
+SplitCandidate MultiClassGiniScan(int attr, ScanColumns* cols,
+                                  const ClassHistogram& total,
+                                  GiniScratch* scratch) {
+  const size_t n = cols->values.size();
+  const float* values = cols->values.data();
+  const uint16_t* labels = cols->labels.data();
+  const int num_classes = total.num_classes();
+  const std::span<const int64_t> tot = total.counts();
+  const int64_t n_total = total.Total();
+
+  std::vector<int64_t>& below = cols->class_counts;
+  below.assign(num_classes, 0);
+  std::vector<int64_t>& best_below = cols->best_counts;
+  best_below.assign(num_classes, 0);
+
+  int64_t sl = 0;
+  int64_t sr = 0;
+  for (int c = 0; c < num_classes; ++c) sr += tot[c] * tot[c];
+
+  size_t best_i = static_cast<size_t>(-1);
+  double best_m = -1.0;
+
+  const size_t scan_n = n - 1;
+  size_t i = 0;
+  while (i < scan_n) {
+    const size_t block_end = std::min(i + kScanBlock, scan_n);
+    if (!BlockHasBoundary(values, i, block_end)) {
+      for (size_t j = i; j < block_end; ++j) ++below[labels[j]];
+      // Rebuild the square sums once per boundary-free block instead of
+      // per record.
+      sl = 0;
+      sr = 0;
+      for (int c = 0; c < num_classes; ++c) {
+        sl += below[c] * below[c];
+        const int64_t ac = tot[c] - below[c];
+        sr += ac * ac;
+      }
+      i = block_end;
+      continue;
+    }
+    for (; i < block_end; ++i) {
+      const int c = labels[i];
+      const int64_t bc = ++below[c];
+      sl += 2 * bc - 1;
+      const int64_t ac = tot[c] - bc;
+      sr -= 2 * ac + 1;
+      assert(values[i] <= values[i + 1] &&
+             "continuous attribute list must be sorted");
+      if (values[i] == values[i + 1]) continue;
+      const int64_t nl = static_cast<int64_t>(i) + 1;
+      const int64_t nr = n_total - nl;
+      const double m = static_cast<double>(sl) / static_cast<double>(nl) +
+                       static_cast<double>(sr) / static_cast<double>(nr);
+      if (m > best_m) {
+        best_m = m;
+        best_i = i;
+        std::copy(below.begin(), below.end(), best_below.begin());
+      }
+    }
+  }
+
+  SplitCandidate best;
+  if (best_i == static_cast<size_t>(-1)) return best;
+  const int64_t nl = static_cast<int64_t>(best_i) + 1;
+  scratch->below.Reset(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    scratch->below.Add(static_cast<ClassLabel>(c), best_below[c]);
+  }
+  scratch->above = total;
+  scratch->above.Subtract(scratch->below);
+  best.test.attr = attr;
+  best.test.categorical = false;
+  best.test.threshold = SplitMidpoint(values[best_i], values[best_i + 1]);
+  best.gini = SplitImpurityWithTotals(scratch->below, scratch->above, nl,
+                                      n_total - nl, SplitCriterion::kGini);
+  best.left_count = nl;
+  best.right_count = static_cast<int64_t>(n) - nl;
+  return best;
+}
+
+/// Entropy sweep. Entropy admits no incremental sum trick, but the SoA
+/// layout, the blocked boundary test and the hoisted totals still apply.
+/// Boundary scores replicate the reference operation order exactly
+/// (EntropyIndexWithTotal over ascending classes, then the weighted sum), so
+/// scores -- and therefore selection and ties -- are bit-identical to the
+/// reference evaluator's.
+SplitCandidate EntropyScan(int attr, ScanColumns* cols,
+                           const ClassHistogram& total) {
+  const size_t n = cols->values.size();
+  const float* values = cols->values.data();
+  const uint16_t* labels = cols->labels.data();
+  const int num_classes = total.num_classes();
+  const std::span<const int64_t> tot = total.counts();
+  const int64_t n_total = total.Total();
+
+  std::vector<int64_t>& below = cols->class_counts;
+  below.assign(num_classes, 0);
+
+  size_t best_i = static_cast<size_t>(-1);
+  double best_score = 0.0;
+  bool have_best = false;
+
+  const size_t scan_n = n - 1;
+  size_t i = 0;
+  while (i < scan_n) {
+    const size_t block_end = std::min(i + kScanBlock, scan_n);
+    if (!BlockHasBoundary(values, i, block_end)) {
+      for (size_t j = i; j < block_end; ++j) ++below[labels[j]];
+      i = block_end;
+      continue;
+    }
+    for (; i < block_end; ++i) {
+      ++below[labels[i]];
+      if (values[i] == values[i + 1]) continue;
+      const int64_t nl = static_cast<int64_t>(i) + 1;
+      const int64_t nr = n_total - nl;
+      // Same operation order as EntropyIndexWithTotal + the weighted sum in
+      // SplitImpurityWithTotals.
+      double el = 0.0;
+      const double invl = 1.0 / static_cast<double>(nl);
+      for (int c = 0; c < num_classes; ++c) {
+        if (below[c] == 0) continue;
+        const double p = static_cast<double>(below[c]) * invl;
+        el -= p * std::log2(p);
+      }
+      double er = 0.0;
+      const double invr = 1.0 / static_cast<double>(nr);
+      for (int c = 0; c < num_classes; ++c) {
+        const int64_t ac = tot[c] - below[c];
+        if (ac == 0) continue;
+        const double p = static_cast<double>(ac) * invr;
+        er -= p * std::log2(p);
+      }
+      const double wl =
+          static_cast<double>(nl) / static_cast<double>(n_total);
+      const double wr =
+          static_cast<double>(nr) / static_cast<double>(n_total);
+      const double score = wl * el + wr * er;
+      if (!have_best || score < best_score) {
+        have_best = true;
+        best_score = score;
+        best_i = i;
+      }
+    }
+  }
+
+  SplitCandidate best;
+  if (!have_best) return best;
+  best.test.attr = attr;
+  best.test.categorical = false;
+  best.test.threshold = SplitMidpoint(values[best_i], values[best_i + 1]);
+  best.gini = best_score;
+  best.left_count = static_cast<int64_t>(best_i) + 1;
+  best.right_count = static_cast<int64_t>(n) - best.left_count;
+  return best;
+}
+
+/// Dual-bank tabulation straight from the AoS records. Low-cardinality
+/// domains hammer a handful of matrix cells, so a plain increment loop
+/// serializes on store-load forwarding whenever consecutive records hit the
+/// same cell; routing even/odd records into two separate count banks
+/// guarantees back-to-back increments never alias, and the banks are merged
+/// into the matrix in one cheap pass over the (tiny) cell array.
+void TabulateDualBank(std::span<const AttrRecord> records, CountMatrix* matrix,
+                      std::vector<int64_t>* bank_storage) {
+  const int num_classes = matrix->num_classes();
+  const size_t cells =
+      static_cast<size_t>(matrix->cardinality()) * num_classes;
+  bank_storage->assign(2 * cells, 0);
+  int64_t* bank0 = bank_storage->data();
+  int64_t* bank1 = bank0 + cells;
+  const AttrRecord* rec = records.data();
+  const size_t n = records.size();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    ++bank0[static_cast<size_t>(rec[i].value.cat) * num_classes +
+            rec[i].label];
+    ++bank1[static_cast<size_t>(rec[i + 1].value.cat) * num_classes +
+            rec[i + 1].label];
+  }
+  if (i < n) {
+    ++bank0[static_cast<size_t>(rec[i].value.cat) * num_classes +
+            rec[i].label];
+  }
+  for (int32_t v = 0; v < matrix->cardinality(); ++v) {
+    for (int c = 0; c < num_classes; ++c) {
+      const size_t cell = static_cast<size_t>(v) * num_classes + c;
+      matrix->AddCount(v, c, bank0[cell] + bank1[cell]);
+    }
+  }
+}
+
+}  // namespace
+
+SplitCandidate KernelEvaluateContinuousAttr(int attr,
+                                            std::span<const AttrRecord> records,
+                                            const ClassHistogram& total,
+                                            const GiniOptions& options,
+                                            GiniScratch* scratch) {
+  if (records.size() < 2) return SplitCandidate();
+  ScanColumns& cols = scratch->columns;
+  cols.BuildContinuous(records);
+  if (options.criterion == SplitCriterion::kEntropy) {
+    return EntropyScan(attr, &cols, total);
+  }
+  if (total.num_classes() == 2) {
+    return TwoClassGiniScan(attr, cols, total, scratch);
+  }
+  return MultiClassGiniScan(attr, &cols, total, scratch);
+}
+
+SplitCandidate KernelEvaluateCategoricalAttr(
+    int attr, std::span<const AttrRecord> records, const ClassHistogram& total,
+    int cardinality, const GiniOptions& options, GiniScratch* scratch) {
+  assert(cardinality >= 1 && cardinality <= kMaxCategoricalCardinality);
+  if (records.size() < 2) return SplitCandidate();
+  CountMatrix& matrix = scratch->matrix;
+  matrix.Reset(cardinality, total.num_classes());
+  TabulateDualBank(records, &matrix, &scratch->columns.tabulate_banks);
+  // The subset search is shared with the reference path: same code, same
+  // candidates, bit-for-bit.
+  return EvaluateCategoricalFromMatrix(attr, matrix, total, options, scratch);
+}
+
+}  // namespace smptree

@@ -1,6 +1,7 @@
 #include "core/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <sstream>
@@ -54,9 +55,7 @@ std::string ClassHistogram::ToString() const {
   return os.str();
 }
 
-double GiniIndex(std::span<const int64_t> counts) {
-  int64_t total = 0;
-  for (int64_t c : counts) total += c;
+double GiniIndexWithTotal(std::span<const int64_t> counts, int64_t total) {
   if (total == 0) return 0.0;
   double sum_sq = 0.0;
   const double inv = 1.0 / static_cast<double>(total);
@@ -67,11 +66,15 @@ double GiniIndex(std::span<const int64_t> counts) {
   return 1.0 - sum_sq;
 }
 
-double GiniIndex(const ClassHistogram& hist) { return GiniIndex(hist.counts()); }
-
-double EntropyIndex(std::span<const int64_t> counts) {
+double GiniIndex(std::span<const int64_t> counts) {
   int64_t total = 0;
   for (int64_t c : counts) total += c;
+  return GiniIndexWithTotal(counts, total);
+}
+
+double GiniIndex(const ClassHistogram& hist) { return GiniIndex(hist.counts()); }
+
+double EntropyIndexWithTotal(std::span<const int64_t> counts, int64_t total) {
   if (total == 0) return 0.0;
   double entropy = 0.0;
   const double inv = 1.0 / static_cast<double>(total);
@@ -81,6 +84,12 @@ double EntropyIndex(std::span<const int64_t> counts) {
     entropy -= p * std::log2(p);
   }
   return entropy;
+}
+
+double EntropyIndex(std::span<const int64_t> counts) {
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  return EntropyIndexWithTotal(counts, total);
 }
 
 double EntropyIndex(const ClassHistogram& hist) {
@@ -93,28 +102,35 @@ double Impurity(const ClassHistogram& hist, SplitCriterion criterion) {
 }
 
 double GiniSplit(const ClassHistogram& left, const ClassHistogram& right) {
-  const int64_t nl = left.Total();
-  const int64_t nr = right.Total();
-  const int64_t n = nl + nr;
-  if (nl == 0 || nr == 0) return 1.0;
-  const double wl = static_cast<double>(nl) / static_cast<double>(n);
-  const double wr = static_cast<double>(nr) / static_cast<double>(n);
-  return wl * GiniIndex(left) + wr * GiniIndex(right);
+  return SplitImpurityWithTotals(left, right, left.Total(), right.Total(),
+                                 SplitCriterion::kGini);
 }
 
 double SplitImpurity(const ClassHistogram& left, const ClassHistogram& right,
                      SplitCriterion criterion) {
-  if (criterion == SplitCriterion::kGini) return GiniSplit(left, right);
-  const int64_t nl = left.Total();
-  const int64_t nr = right.Total();
+  return SplitImpurityWithTotals(left, right, left.Total(), right.Total(),
+                                 criterion);
+}
+
+double SplitImpurityWithTotals(const ClassHistogram& left,
+                               const ClassHistogram& right, int64_t nl,
+                               int64_t nr, SplitCriterion criterion) {
   const int64_t n = nl + nr;
+  if (criterion == SplitCriterion::kGini) {
+    if (nl == 0 || nr == 0) return 1.0;
+    const double wl = static_cast<double>(nl) / static_cast<double>(n);
+    const double wr = static_cast<double>(nr) / static_cast<double>(n);
+    return wl * GiniIndexWithTotal(left.counts(), nl) +
+           wr * GiniIndexWithTotal(right.counts(), nr);
+  }
   if (nl == 0 || nr == 0) {
     // Worst possible entropy so degenerate splits never win.
     return std::log2(std::max(2, left.num_classes()));
   }
   const double wl = static_cast<double>(nl) / static_cast<double>(n);
   const double wr = static_cast<double>(nr) / static_cast<double>(n);
-  return wl * EntropyIndex(left) + wr * EntropyIndex(right);
+  return wl * EntropyIndexWithTotal(left.counts(), nl) +
+         wr * EntropyIndexWithTotal(right.counts(), nr);
 }
 
 CountMatrix::CountMatrix(int cardinality, int num_classes) {
@@ -137,11 +153,18 @@ void CountMatrix::SubsetHistogram(uint64_t subset_mask,
                                   ClassHistogram* hist) const {
   assert(cardinality_ <= 64);
   hist->Reset(num_classes_);
-  for (int v = 0; v < cardinality_; ++v) {
-    if ((subset_mask >> v) & 1) {
-      for (int c = 0; c < num_classes_; ++c) {
-        hist->Add(static_cast<ClassLabel>(c), count(v, c));
-      }
+  // Word-at-a-time: iterate the set bits directly (lowest first, i.e. the
+  // same ascending value order as a 0..cardinality scan) instead of testing
+  // all `cardinality` positions. Subset masks are sparse for most of the
+  // exhaustive enumeration and throughout the greedy growth.
+  uint64_t mask = subset_mask;
+  if (cardinality_ < 64) mask &= (uint64_t{1} << cardinality_) - 1;
+  while (mask != 0) {
+    const int v = std::countr_zero(mask);
+    mask &= mask - 1;
+    const int64_t* row = &cells_[static_cast<size_t>(v) * num_classes_];
+    for (int c = 0; c < num_classes_; ++c) {
+      hist->Add(static_cast<ClassLabel>(c), row[c]);
     }
   }
 }

@@ -63,9 +63,18 @@ enum class SplitCriterion : unsigned char {
 double GiniIndex(std::span<const int64_t> counts);
 double GiniIndex(const ClassHistogram& hist);
 
+/// GiniIndex with the count total supplied by the caller (hoisted out of
+/// sweep loops where the total follows the scan position). `total` must
+/// equal sum(counts); the arithmetic is identical to GiniIndex, so results
+/// agree bit-for-bit.
+double GiniIndexWithTotal(std::span<const int64_t> counts, int64_t total);
+
 /// entropy(S) = -sum_j p_j log2 p_j (0 for empty/pure distributions).
 double EntropyIndex(std::span<const int64_t> counts);
 double EntropyIndex(const ClassHistogram& hist);
+
+/// EntropyIndex with a caller-supplied total (see GiniIndexWithTotal).
+double EntropyIndexWithTotal(std::span<const int64_t> counts, int64_t total);
 
 /// Impurity under the chosen criterion.
 double Impurity(const ClassHistogram& hist, SplitCriterion criterion);
@@ -81,6 +90,13 @@ double GiniSplit(const ClassHistogram& left, const ClassHistogram& right);
 double SplitImpurity(const ClassHistogram& left, const ClassHistogram& right,
                      SplitCriterion criterion);
 
+/// SplitImpurity with caller-supplied side totals (`nl` = left.Total(),
+/// `nr` = right.Total()): skips the four Total() passes per candidate that
+/// SplitImpurity pays. Same arithmetic, bit-identical results.
+double SplitImpurityWithTotals(const ClassHistogram& left,
+                               const ClassHistogram& right, int64_t nl,
+                               int64_t nr, SplitCriterion criterion);
+
 /// value-code x class count matrix for a categorical attribute list.
 class CountMatrix {
  public:
@@ -94,6 +110,10 @@ class CountMatrix {
 
   void Add(int32_t value_code, ClassLabel cls) {
     ++cells_[static_cast<size_t>(value_code) * num_classes_ + cls];
+  }
+
+  void AddCount(int32_t value_code, int cls, int64_t n) {
+    cells_[static_cast<size_t>(value_code) * num_classes_ + cls] += n;
   }
 
   int64_t count(int32_t value_code, int cls) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <thread>
 
 #include "util/timer.h"
@@ -21,14 +22,41 @@ Result<AttributeLists> BuildAttributeLists(const Dataset& data,
   AttributeLists out;
   Timer timer;
 
+  // Runs `work(i)` for every i in [0, count) on up to `max_threads`
+  // threads, dynamically scheduled (one unit per attribute; list lengths
+  // are equal but per-attribute cost varies with value distribution).
+  const auto parallel_for = [](int max_threads, size_t count,
+                               const std::function<void(size_t)>& work) {
+    if (max_threads <= 1 || count <= 1) {
+      for (size_t i = 0; i < count; ++i) work(i);
+      return;
+    }
+    std::atomic<size_t> next{0};
+    const int workers = std::min<int>(max_threads, static_cast<int>(count));
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          work(i);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  };
+
   // Setup phase: materialize (value, class, tid) records per attribute.
+  // Attributes are independent columns, so the materialization loop uses
+  // the same per-attribute dynamic scheduling as the sort phase below.
   const int num_attrs = data.num_attrs();
   const int64_t n = data.num_tuples();
   out.lists.resize(num_attrs);
-  for (int a = 0; a < num_attrs; ++a) {
+  parallel_for(sort_threads, static_cast<size_t>(num_attrs), [&](size_t a) {
     auto& list = out.lists[a];
     list.resize(n);
-    const auto column = data.column(a);
+    const auto column = data.column(static_cast<int>(a));
     const auto labels = data.labels();
     for (int64_t t = 0; t < n; ++t) {
       list[t].value = column[t];
@@ -36,7 +64,7 @@ Result<AttributeLists> BuildAttributeLists(const Dataset& data,
       list[t].label = labels[t];
       list[t].unused = 0;
     }
-  }
+  });
   out.setup_seconds = timer.Seconds();
 
   // Sort phase: continuous lists only; categorical lists stay unsorted.
@@ -45,29 +73,10 @@ Result<AttributeLists> BuildAttributeLists(const Dataset& data,
   for (int a = 0; a < num_attrs; ++a) {
     if (!data.schema().attr(a).is_categorical()) continuous.push_back(a);
   }
-  auto sort_one = [&](int attr) {
-    std::sort(out.lists[attr].begin(), out.lists[attr].end(),
-              ContinuousRecordLess());
-  };
-  if (sort_threads <= 1 || continuous.size() <= 1) {
-    for (int a : continuous) sort_one(a);
-  } else {
-    std::atomic<size_t> next{0};
-    const int workers =
-        std::min<int>(sort_threads, static_cast<int>(continuous.size()));
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (int w = 0; w < workers; ++w) {
-      threads.emplace_back([&] {
-        for (;;) {
-          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= continuous.size()) return;
-          sort_one(continuous[i]);
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-  }
+  parallel_for(sort_threads, continuous.size(), [&](size_t i) {
+    std::sort(out.lists[continuous[i]].begin(),
+              out.lists[continuous[i]].end(), ContinuousRecordLess());
+  });
   out.sort_seconds = timer.Seconds();
   return out;
 }

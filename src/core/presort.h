@@ -6,9 +6,9 @@
 //
 // The paper measures setup and sort as separate sequential phases and notes
 // they could be parallelized further; `sort_threads > 1` does exactly that
-// (one attribute per thread, dynamic scheduling), which the ablation
-// benchmark uses to revisit the paper's "speedups can be improved by
-// parallelizing the setup phase more aggressively" remark.
+// for BOTH phases (one attribute per thread, dynamic scheduling), which the
+// ablation benchmark uses to revisit the paper's "speedups can be improved
+// by parallelizing the setup phase more aggressively" remark.
 
 #ifndef SMPTREE_CORE_PRESORT_H_
 #define SMPTREE_CORE_PRESORT_H_

@@ -32,6 +32,10 @@ class SplitProbe {
   /// S phase, ordered after the leaf's W by the builders' synchronization.
   bool GoesLeft(Tid tid) const { return bits_.Get(tid); }
 
+  /// Prefetches the word holding `tid`'s bit; the split loop issues this a
+  /// fixed distance ahead of the GoesLeft it pairs with.
+  void Prefetch(Tid tid) const { bits_.Prefetch(tid); }
+
   size_t size() const { return bits_.size(); }
 
  private:

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Convert bench/micro_kernels google-benchmark JSON output to BENCH_core.json.
+
+Usage:
+  ./build/bench/micro_kernels --benchmark_out=gbench.json \
+      --benchmark_out_format=json
+  python3 tools/bench_to_json.py gbench.json -o BENCH_core.json
+
+The output is a small machine-readable summary: per-benchmark ns/record
+(derived from items_per_second) plus the speedup ratios the kernel layer is
+judged by (AoS reference vs SoA kernel for the E-phase scans and categorical
+tabulation, direct vs buffered for the S-phase split). Benchmark family
+names are a contract with bench/micro_kernels.cc -- see the header comment
+there before renaming anything.
+"""
+
+import argparse
+import json
+import sys
+
+# (json key, slow family, fast family) -> derived "slow/fast" speedup.
+SPEEDUP_PAIRS = [
+    ("e_scan_2class_speedup", "EScan/aos_2class", "EScan/soa_2class"),
+    ("e_scan_8class_speedup", "EScan/aos_8class", "EScan/soa_8class"),
+    ("categorical_tabulate_speedup", "CatTabulate/aos", "CatTabulate/soa"),
+    ("split_phase_buffered_speedup", "SplitPhase/direct", "SplitPhase/buffered"),
+]
+
+CONTEXT_KEYS = ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                "library_build_type")
+
+
+def ns_per_record(bench):
+    ips = bench.get("items_per_second")
+    if not ips:
+        return None
+    return 1e9 / ips
+
+
+def family_of(name):
+    """'EScan/aos_2class/131072/min_time:0.020' -> 'EScan/aos_2class'."""
+    parts = name.split("/")
+    keep = [parts[0]]
+    for part in parts[1:]:
+        if part.isdigit() or ":" in part:
+            break
+        keep.append(part)
+    return "/".join(keep)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input", help="google-benchmark JSON file ('-' = stdin)")
+    ap.add_argument("-o", "--output", default="BENCH_core.json")
+    args = ap.parse_args()
+
+    if args.input == "-":
+        raw = json.load(sys.stdin)
+    else:
+        with open(args.input) as f:
+            raw = json.load(f)
+
+    benchmarks = []
+    by_family = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "name": bench["name"],
+            "real_time_ns": bench.get("real_time"),
+            "cpu_time_ns": bench.get("cpu_time"),
+            "items_per_second": bench.get("items_per_second"),
+            "ns_per_record": ns_per_record(bench),
+        }
+        benchmarks.append(entry)
+        # Last run of a family wins (largest Arg when sizes ascend).
+        by_family[family_of(bench["name"])] = entry
+
+    derived = {}
+    for key, slow, fast in SPEEDUP_PAIRS:
+        a = by_family.get(slow)
+        b = by_family.get(fast)
+        if a and b and a["ns_per_record"] and b["ns_per_record"]:
+            derived[key] = round(a["ns_per_record"] / b["ns_per_record"], 3)
+        else:
+            derived[key] = None
+
+    context = raw.get("context", {})
+    out = {
+        "schema_version": 1,
+        "suite": "core_kernels",
+        "context": {k: context.get(k) for k in CONTEXT_KEYS},
+        "benchmarks": benchmarks,
+        "derived": derived,
+    }
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output} ({len(benchmarks)} benchmarks)")
+    missing = [k for k, v in derived.items() if v is None]
+    if missing:
+        print(f"warning: missing inputs for: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
