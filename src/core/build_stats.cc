@@ -1,0 +1,143 @@
+#include "core/build_stats.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+namespace {
+
+bool IsPhaseEvent(const TraceEvent& ev) {
+  return std::strcmp(ev.cat, "phase") == 0;
+}
+
+/// Wall-time overlap of [a_start, a_end) with [b_start, b_end).
+uint64_t Overlap(uint64_t a_start, uint64_t a_end, uint64_t b_start,
+                 uint64_t b_end) {
+  const uint64_t lo = std::max(a_start, b_start);
+  const uint64_t hi = std::min(a_end, b_end);
+  return hi > lo ? hi - lo : 0;
+}
+
+ThreadBuildStats FoldThread(int tid, const std::vector<TraceEvent>& events) {
+  ThreadBuildStats out;
+  out.tid = tid;
+  // Spans land in the buffer in *end*-time order (RAII destruction), so
+  // waits nested inside a phase span precede it. Collect both kinds first,
+  // then charge each wait against the phase spans it overlaps. Waits nest at
+  // most one level deep inside a phase on the same thread, so the simple
+  // pairwise overlap cannot double-charge.
+  std::vector<const TraceEvent*> phases;
+  for (const TraceEvent& ev : events) {
+    if (IsPhaseEvent(ev)) {
+      out.phase_nanos += ev.dur_ns;
+      ++out.phase_spans;
+      phases.push_back(&ev);
+    } else {
+      out.blocked_nanos += ev.dur_ns;
+      ++out.wait_spans;
+    }
+  }
+  uint64_t blocked_in_phase = 0;
+  for (const TraceEvent& ev : events) {
+    if (IsPhaseEvent(ev)) continue;
+    for (const TraceEvent* ph : phases) {
+      blocked_in_phase += Overlap(ev.ts_ns, ev.ts_ns + ev.dur_ns, ph->ts_ns,
+                                  ph->ts_ns + ph->dur_ns);
+    }
+  }
+  out.compute_nanos = out.phase_nanos > blocked_in_phase
+                          ? out.phase_nanos - blocked_in_phase
+                          : 0;
+  return out;
+}
+
+double Ms(uint64_t nanos) { return static_cast<double>(nanos) / 1e6; }
+
+}  // namespace
+
+double BuildStats::WaitShare() const {
+  if (wall_nanos == 0 || num_threads <= 0) return 0.0;
+  return static_cast<double>(wait_nanos) /
+         (static_cast<double>(num_threads) * static_cast<double>(wall_nanos));
+}
+
+std::string BuildStats::ToJson() const {
+  std::string out;
+  out.reserve(1024 + 160 * (levels.size() + threads.size()));
+  out += StringPrintf(
+      "{\"algorithm\": \"%s\", \"num_threads\": %d, \"wall_ms\": %.3f,\n"
+      " \"e_ms\": %.3f, \"w_ms\": %.3f, \"s_ms\": %.3f, \"wait_ms\": %.3f,\n"
+      " \"wait_share\": %.4f,\n"
+      " \"barrier_waits\": %llu, \"condvar_waits\": %llu, "
+      "\"attr_tasks\": %llu, \"free_queue_rounds\": %llu,\n"
+      " \"records_scanned\": %llu, \"records_split\": %llu,\n",
+      algorithm.c_str(), num_threads, Ms(wall_nanos), Ms(e_nanos), Ms(w_nanos),
+      Ms(s_nanos), Ms(wait_nanos), WaitShare(),
+      static_cast<unsigned long long>(barrier_waits),
+      static_cast<unsigned long long>(condvar_waits),
+      static_cast<unsigned long long>(attr_tasks),
+      static_cast<unsigned long long>(free_queue_rounds),
+      static_cast<unsigned long long>(records_scanned),
+      static_cast<unsigned long long>(records_split));
+  out += " \"levels\": [";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    out += StringPrintf(
+        "%s{\"level\": %d, \"leaves\": %lld, \"records\": %lld}",
+        i == 0 ? "" : ", ", levels[i].level,
+        static_cast<long long>(levels[i].leaves),
+        static_cast<long long>(levels[i].records));
+  }
+  out += "],\n \"threads\": [";
+  for (size_t i = 0; i < threads.size(); ++i) {
+    const ThreadBuildStats& t = threads[i];
+    out += StringPrintf(
+        "%s\n  {\"tid\": %d, \"phase_ms\": %.3f, \"blocked_ms\": %.3f, "
+        "\"compute_ms\": %.3f, \"phase_spans\": %llu, \"wait_spans\": %llu}",
+        i == 0 ? "" : ",", t.tid, Ms(t.phase_nanos), Ms(t.blocked_nanos),
+        Ms(t.compute_nanos), static_cast<unsigned long long>(t.phase_spans),
+        static_cast<unsigned long long>(t.wait_spans));
+  }
+  out += "]}";
+  return out;
+}
+
+BuildStats MakeBuildStats(const std::string& algorithm, int num_threads,
+                          uint64_t wall_nanos, const BuildCounters& counters,
+                          std::vector<LevelTraceEntry> levels,
+                          const TraceRecorder* trace) {
+  BuildStats stats;
+  stats.algorithm = algorithm;
+  stats.num_threads = num_threads;
+  stats.wall_nanos = wall_nanos;
+  stats.e_nanos = counters.e_nanos.load(std::memory_order_relaxed);
+  stats.w_nanos = counters.w_nanos.load(std::memory_order_relaxed);
+  stats.s_nanos = counters.s_nanos.load(std::memory_order_relaxed);
+  stats.wait_nanos = counters.wait_nanos.load(std::memory_order_relaxed);
+  stats.barrier_waits = counters.barrier_waits.load(std::memory_order_relaxed);
+  stats.condvar_waits = counters.condvar_waits.load(std::memory_order_relaxed);
+  stats.attr_tasks = counters.attr_tasks.load(std::memory_order_relaxed);
+  stats.free_queue_rounds =
+      counters.free_queue_rounds.load(std::memory_order_relaxed);
+  stats.records_scanned =
+      counters.records_scanned.load(std::memory_order_relaxed);
+  stats.records_split = counters.records_split.load(std::memory_order_relaxed);
+  stats.levels = std::move(levels);
+  if (trace != nullptr) {
+    const int n = trace->num_threads();
+    stats.threads.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      stats.threads.push_back(
+          FoldThread(trace->thread_tid(i), trace->thread_events(i)));
+    }
+    std::sort(stats.threads.begin(), stats.threads.end(),
+              [](const ThreadBuildStats& a, const ThreadBuildStats& b) {
+                return a.tid < b.tid;
+              });
+  }
+  return stats;
+}
+
+}  // namespace smptree

@@ -1,0 +1,79 @@
+// Structured summary of one build's observability data: the BuildCounters
+// totals, the per-level frontier shape, and -- when the build ran with a
+// TraceRecorder -- a per-thread compute-vs-blocked breakdown folded from the
+// trace spans. This is the machine-readable form behind `smptree_cli train
+// --stats-out`, the `/statz` "build" section of smptree_serve, and the
+// speedup bench (bench/speedup_builders.cc).
+
+#ifndef SMPTREE_CORE_BUILD_STATS_H_
+#define SMPTREE_CORE_BUILD_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/builder_context.h"
+#include "util/stats.h"
+#include "util/trace.h"
+
+namespace smptree {
+
+/// Per-thread accounting folded from a build trace. All values are
+/// nanoseconds of wall time on that one thread.
+struct ThreadBuildStats {
+  int tid = 0;
+  uint64_t phase_nanos = 0;    ///< total time inside E/W/S (phase) spans
+  uint64_t blocked_nanos = 0;  ///< total time inside wait spans
+  uint64_t compute_nanos = 0;  ///< phase_nanos minus waits overlapping a phase
+  uint64_t phase_spans = 0;    ///< number of phase spans
+  uint64_t wait_spans = 0;     ///< number of wait spans
+};
+
+/// One build's observability summary. Counter fields mirror BuildCounters
+/// (see util/stats.h for the compute-vs-blocked accounting model); `threads`
+/// is filled only when the build was traced.
+struct BuildStats {
+  std::string algorithm;
+  int num_threads = 1;
+  uint64_t wall_nanos = 0;  ///< build wall time (one clock, not per-thread)
+
+  // Compute-only per-phase time summed across threads.
+  uint64_t e_nanos = 0;
+  uint64_t w_nanos = 0;
+  uint64_t s_nanos = 0;
+  // Blocked time summed across threads, and its event counts.
+  uint64_t wait_nanos = 0;
+  uint64_t barrier_waits = 0;
+  uint64_t condvar_waits = 0;
+
+  uint64_t attr_tasks = 0;
+  uint64_t free_queue_rounds = 0;
+  uint64_t records_scanned = 0;
+  uint64_t records_split = 0;
+
+  /// Frontier shape per level (leaves processed, records held).
+  std::vector<LevelTraceEntry> levels;
+
+  /// Per-thread breakdown; empty unless the build ran with a TraceRecorder.
+  std::vector<ThreadBuildStats> threads;
+
+  /// Fraction of the build's total thread-time spent blocked:
+  /// wait_nanos / (num_threads * wall_nanos). 0 when wall_nanos is 0.
+  double WaitShare() const;
+
+  /// Serializes everything as a single JSON object (parseable by
+  /// serve/json.h and python -m json.tool).
+  std::string ToJson() const;
+};
+
+/// Assembles a BuildStats from the raw sources. `trace` may be null (no
+/// per-thread section); when given, it must be quiescent (the build's thread
+/// team has joined).
+BuildStats MakeBuildStats(const std::string& algorithm, int num_threads,
+                          uint64_t wall_nanos, const BuildCounters& counters,
+                          std::vector<LevelTraceEntry> levels,
+                          const TraceRecorder* trace);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_CORE_BUILD_STATS_H_

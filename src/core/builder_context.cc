@@ -149,7 +149,7 @@ Status BuildContext::InitRoot(AttributeLists lists,
 Status BuildContext::EvaluateLeafAttr(LeafTask* leaf, int attr,
                                       GiniScratch* scratch,
                                       LevelStorage* storage) {
-  PhaseTimer phase(&counters_->e_nanos);
+  PhaseTimer phase(counters_, BuildPhase::kEvaluate);
   SegmentBuffer buf;
   SMPTREE_RETURN_IF_ERROR(storage->ReadSegment(attr, leaf->seg, &buf));
   leaf->candidates[attr] = EvaluateAttr(data_->schema(), attr, buf.records(),
@@ -174,7 +174,7 @@ Status BuildContext::EvaluateAttrForLeaves(int attr,
 }
 
 Status BuildContext::RunW(LeafTask* leaf, LevelStorage* storage) {
-  PhaseTimer phase(&counters_->w_nanos);
+  PhaseTimer phase(counters_, BuildPhase::kWinner);
   // Reduce the per-attribute candidates to the global winner for this leaf.
   SplitCandidate best;
   for (const SplitCandidate& c : leaf->candidates) {
@@ -255,7 +255,7 @@ void BuildContext::AssignChildSlots(std::vector<LeafTask>* level,
 Status BuildContext::SplitAttribute(int attr,
                                     const std::vector<LeafTask>& level,
                                     LevelStorage* storage) {
-  PhaseTimer phase(&counters_->s_nanos);
+  PhaseTimer phase(counters_, BuildPhase::kSplit);
   const bool any_appends = [&] {
     for (const LeafTask& leaf : level) {
       if (leaf.child_active[0] || leaf.child_active[1]) return true;

@@ -34,6 +34,7 @@
 #include "util/mutex.h"
 #include "util/stats.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace smptree {
 
@@ -97,6 +98,11 @@ struct BuildOptions {
   /// the buffered-vs-direct equivalence tests). Either way the bytes
   /// written are identical.
   int64_t split_buffer_records = 4096;
+  /// When set, every builder thread binds to this recorder and emits
+  /// per-level E/W/S + wait spans (util/trace.h). The recorder must outlive
+  /// the build; null (the default) disables tracing -- the builders then pay
+  /// one thread_local load per span. Not owned.
+  TraceRecorder* trace = nullptr;
 
   Status Validate() const;
 };
@@ -134,6 +140,9 @@ class BuildContext {
   DecisionTree* tree() { return tree_; }
   SplitProbe* probe() { return &probe_; }
   BuildCounters* counters() { return counters_; }
+  /// The build's trace recorder, or null when tracing is off. Builder worker
+  /// bodies pass it to a TraceThreadBinding.
+  TraceRecorder* trace() { return options_.trace; }
   LevelStorage* storage() { return storage_.get(); }
   Env* env() { return env_; }
   const std::string& scratch_dir() const { return scratch_dir_; }

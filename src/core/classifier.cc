@@ -89,6 +89,10 @@ Result<TrainResult> TrainClassifier(const Dataset& data,
   result.stats.s_phase_seconds =
       static_cast<double>(counters.s_nanos.load()) / 1e9;
   result.stats.level_trace = ctx.LevelTrace();
+  result.stats.build_stats = MakeBuildStats(
+      AlgorithmName(options.build.algorithm), options.build.num_threads,
+      static_cast<uint64_t>(result.stats.build_seconds * 1e9), counters,
+      result.stats.level_trace, options.build.trace);
 
   SMPTREE_RETURN_IF_ERROR(ctx.env()->RemoveDirRecursive(ctx.scratch_dir()));
   return result;

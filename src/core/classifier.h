@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "core/build_stats.h"
 #include "core/builder_context.h"
 #include "core/prune.h"
 #include "core/tree.h"
@@ -60,6 +61,11 @@ struct TrainStats {
 
   /// Frontier shape per level (leaves processed and records held).
   std::vector<LevelTraceEntry> level_trace;
+
+  /// Structured summary of the same accounting (plus the per-thread
+  /// compute-vs-blocked breakdown when options.build.trace was set);
+  /// build_stats.ToJson() is what --stats-out and /statz export.
+  BuildStats build_stats;
 };
 
 /// A trained model.

@@ -3,27 +3,40 @@
 namespace smptree {
 
 Status BuildTreeSerial(BuildContext* ctx, std::vector<LeafTask> level) {
+  TraceThreadBinding trace(ctx->trace(), 0);
   GiniScratch scratch;
   const int num_attrs = ctx->data().num_attrs();
+  int level_no = 0;
   while (!level.empty()) {
     // E: attribute lists are processed one after the other, so only one set
     // of histograms is live at any time (paper section 2.1).
-    for (int attr = 0; attr < num_attrs; ++attr) {
-      SMPTREE_RETURN_IF_ERROR(
-          ctx->EvaluateAttrForLeaves(attr, &level, 0, level.size(), &scratch));
+    {
+      TraceSpan span("E", "phase", level_no,
+                     static_cast<int64_t>(level.size()));
+      for (int attr = 0; attr < num_attrs; ++attr) {
+        SMPTREE_RETURN_IF_ERROR(ctx->EvaluateAttrForLeaves(
+            attr, &level, 0, level.size(), &scratch));
+      }
     }
     // W: winner selection and probe construction per leaf.
-    for (LeafTask& leaf : level) {
-      SMPTREE_RETURN_IF_ERROR(ctx->RunW(&leaf));
+    {
+      TraceSpan span("W", "phase", level_no);
+      for (LeafTask& leaf : level) {
+        SMPTREE_RETURN_IF_ERROR(ctx->RunW(&leaf));
+      }
+      ctx->AssignChildSlots(&level, ctx->num_slots());
     }
-    ctx->AssignChildSlots(&level, ctx->num_slots());
     // S: split every attribute list using the probe.
-    for (int attr = 0; attr < num_attrs; ++attr) {
-      SMPTREE_RETURN_IF_ERROR(ctx->SplitAttribute(attr, level));
+    {
+      TraceSpan span("S", "phase", level_no);
+      for (int attr = 0; attr < num_attrs; ++attr) {
+        SMPTREE_RETURN_IF_ERROR(ctx->SplitAttribute(attr, level));
+      }
     }
     SMPTREE_RETURN_IF_ERROR(ctx->storage()->AdvanceLevel());
     level = ctx->CollectNextLevel(level);
     if (!level.empty()) ctx->set_levels_built(ctx->levels_built() + 1);
+    ++level_no;
   }
   return Status::OK();
 }

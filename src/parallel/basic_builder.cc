@@ -21,20 +21,28 @@ Status BuildTreeBasic(BuildContext* ctx, std::vector<LeafTask> level) {
   if (level.empty()) done.store(true);
 
   auto worker = [&](int tid) {
+    TraceThreadBinding trace(ctx->trace(), tid);
     GiniScratch scratch;
+    int level_no = 0;
     while (!done.load(std::memory_order_acquire)) {
       // E: grab attributes dynamically; evaluate each for all leaves of the
       // level so every attribute list is read once, sequentially.
-      for (int64_t a = e_sched.Next(); a >= 0; a = e_sched.Next()) {
-        sink.Record(ctx->EvaluateAttrForLeaves(static_cast<int>(a), &level, 0,
-                                               level.size(), &scratch));
-        if (sink.aborted()) break;
+      {
+        TraceSpan span("E", "phase", level_no,
+                       static_cast<int64_t>(level.size()));
+        for (int64_t a = e_sched.Next(); a >= 0; a = e_sched.Next()) {
+          sink.Record(ctx->EvaluateAttrForLeaves(static_cast<int>(a), &level,
+                                                 0, level.size(), &scratch));
+          if (sink.aborted()) break;
+        }
       }
       TimedBarrierWait(&barrier, counters);
 
       // W: performed serially by the pre-designated master while the other
       // processors sleep at the barrier -- the bottleneck MWK removes.
       if (tid == 0 && !sink.aborted()) {
+        TraceSpan span("W", "phase", level_no,
+                       static_cast<int64_t>(level.size()));
         for (LeafTask& leaf : level) {
           Status s = ctx->RunW(&leaf);
           sink.Record(s);
@@ -46,6 +54,7 @@ Status BuildTreeBasic(BuildContext* ctx, std::vector<LeafTask> level) {
 
       // S: dynamic attribute scheduling again.
       if (!sink.aborted()) {
+        TraceSpan span("S", "phase", level_no);
         for (int64_t a = s_sched.Next(); a >= 0; a = s_sched.Next()) {
           sink.Record(ctx->SplitAttribute(static_cast<int>(a), level));
           if (sink.aborted()) break;
@@ -69,6 +78,7 @@ Status BuildTreeBasic(BuildContext* ctx, std::vector<LeafTask> level) {
         }
       }
       TimedBarrierWait(&barrier, counters);
+      ++level_no;
     }
   };
 

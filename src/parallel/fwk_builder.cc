@@ -38,34 +38,44 @@ Status BuildTreeFwk(BuildContext* ctx, std::vector<LeafTask> level) {
   if (!level.empty()) arm_block(0);
 
   auto worker = [&](int tid) {
+    TraceThreadBinding trace(ctx->trace(), tid);
     GiniScratch scratch;
+    int level_no = 0;
     while (!done.load(std::memory_order_acquire)) {
-      // E (+ pipelined W) over the blocks of this level.
-      for (;;) {
-        const size_t start = block_start.load(std::memory_order_acquire);
-        if (start >= level.size()) break;
-        for (int64_t task = block_sched.Next(); task >= 0;
-             task = block_sched.Next()) {
-          const size_t leaf_idx = start + static_cast<size_t>(task / num_attrs);
-          const int attr = static_cast<int>(task % num_attrs);
-          if (!sink.aborted()) {
-            sink.Record(ctx->EvaluateLeafAttr(&level[leaf_idx], attr, &scratch));
+      // E (+ pipelined W) over the blocks of this level. E and W interleave
+      // within a block, so they share one span.
+      {
+        TraceSpan span("E+W", "phase", level_no,
+                       static_cast<int64_t>(level.size()));
+        for (;;) {
+          const size_t start = block_start.load(std::memory_order_acquire);
+          if (start >= level.size()) break;
+          for (int64_t task = block_sched.Next(); task >= 0;
+               task = block_sched.Next()) {
+            const size_t leaf_idx =
+                start + static_cast<size_t>(task / num_attrs);
+            const int attr = static_cast<int>(task % num_attrs);
+            if (!sink.aborted()) {
+              sink.Record(
+                  ctx->EvaluateLeafAttr(&level[leaf_idx], attr, &scratch));
+            }
+            // Last finisher on the leaf constructs its hash probe while peers
+            // evaluate the block's remaining leaves (the pipelining).
+            if (remaining[leaf_idx]->fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+              if (!sink.aborted()) sink.Record(ctx->RunW(&level[leaf_idx]));
+            }
           }
-          // Last finisher on the leaf constructs its hash probe while peers
-          // evaluate the block's remaining leaves (the pipelining).
-          if (remaining[leaf_idx]->fetch_sub(1, std::memory_order_acq_rel) ==
-              1) {
-            if (!sink.aborted()) sink.Record(ctx->RunW(&level[leaf_idx]));
+          // One synchronization per K-block (paper: "the work overlap is
+          // achieved at the cost of ... one [barrier] for each K-block").
+          if (TimedBarrierWait(&barrier, counters)) {
+            const size_t next =
+                start + std::min<size_t>(window, level.size() - start);
+            if (next < level.size()) arm_block(next);
+            block_start.store(next, std::memory_order_release);
           }
+          TimedBarrierWait(&barrier, counters);
         }
-        // One synchronization per K-block (paper: "the work overlap is
-        // achieved at the cost of ... one [barrier] for each K-block").
-        if (TimedBarrierWait(&barrier, counters)) {
-          const size_t next = start + std::min<size_t>(window, level.size() - start);
-          if (next < level.size()) arm_block(next);
-          block_start.store(next, std::memory_order_release);
-        }
-        TimedBarrierWait(&barrier, counters);
       }
 
       // All W done; master lays out the children, then the split phase runs
@@ -76,6 +86,7 @@ Status BuildTreeFwk(BuildContext* ctx, std::vector<LeafTask> level) {
       }
       TimedBarrierWait(&barrier, counters);
       if (!sink.aborted()) {
+        TraceSpan span("S", "phase", level_no);
         for (int64_t a = s_sched.Next(); a >= 0; a = s_sched.Next()) {
           sink.Record(ctx->SplitAttribute(static_cast<int>(a), level));
           if (sink.aborted()) break;
@@ -98,6 +109,7 @@ Status BuildTreeFwk(BuildContext* ctx, std::vector<LeafTask> level) {
         }
       }
       TimedBarrierWait(&barrier, counters);
+      ++level_no;
     }
   };
 

@@ -32,11 +32,20 @@ Status RunThreadTeam(int num_threads, ErrorSink* sink,
 }
 
 bool TimedBarrierWait(Barrier* barrier, BuildCounters* counters) {
+  debug::SharedScope accumulating(counters->reset_check);
   counters->barrier_waits.fetch_add(1, std::memory_order_relaxed);
-  Timer timer;
-  const bool serial = barrier->Wait();
-  counters->wait_nanos.fetch_add(static_cast<uint64_t>(timer.Seconds() * 1e9),
-                                 std::memory_order_relaxed);
+  bool serial;
+  uint64_t nanos;
+  {
+    TraceSpan span("barrier", "wait");
+    Timer timer;
+    serial = barrier->Wait();
+    nanos = static_cast<uint64_t>(timer.Seconds() * 1e9);
+  }
+  counters->wait_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  // Mirror into the thread ledger so an enclosing PhaseTimer subtracts the
+  // blocked time (see the BuildCounters accounting model).
+  AddThreadBlockedNanos(nanos);
   return serial;
 }
 

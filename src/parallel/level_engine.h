@@ -17,6 +17,7 @@
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace smptree {
 
@@ -63,14 +64,23 @@ bool TimedBarrierWait(Barrier* barrier, BuildCounters* counters);
 ///     WaitTimer wt(counters);
 ///     while (!ready_) cv_.Wait(mu_);
 ///   }
+///
+/// `what` names the wait in the trace ("leaf_wait", "gate_wait",
+/// "free_idle", ...; must be a string literal) and `level` tags it with the
+/// tree level when known. Besides wait_nanos, the blocked time is mirrored
+/// into the calling thread's ledger (AddThreadBlockedNanos) so an enclosing
+/// PhaseTimer reports compute-only time.
 class WaitTimer {
  public:
-  explicit WaitTimer(BuildCounters* counters) : counters_(counters) {}
+  explicit WaitTimer(BuildCounters* counters, const char* what = "cv_wait",
+                     int level = -1)
+      : counters_(counters), span_(what, "wait", level) {}
   ~WaitTimer() {
+    const uint64_t nanos = static_cast<uint64_t>(timer_.Seconds() * 1e9);
+    debug::SharedScope accumulating(counters_->reset_check);
     counters_->condvar_waits.fetch_add(1, std::memory_order_relaxed);
-    counters_->wait_nanos.fetch_add(
-        static_cast<uint64_t>(timer_.Seconds() * 1e9),
-        std::memory_order_relaxed);
+    counters_->wait_nanos.fetch_add(nanos, std::memory_order_relaxed);
+    AddThreadBlockedNanos(nanos);
   }
 
   WaitTimer(const WaitTimer&) = delete;
@@ -78,6 +88,7 @@ class WaitTimer {
 
  private:
   BuildCounters* counters_;
+  TraceSpan span_;
   Timer timer_;
 };
 

@@ -22,12 +22,14 @@ Status BuildTreeMwk(BuildContext* ctx, std::vector<LeafTask> level) {
   if (!level.empty()) state.Arm(level, num_attrs);
 
   auto worker = [&](int tid) {
+    TraceThreadBinding trace(ctx->trace(), tid);
     GiniScratch scratch;
+    int level_no = 0;
     while (!done.load(std::memory_order_acquire)) {
       // One level: the E/W moving-window pipeline plus the gated split
       // phase; no barriers inside (paper section 3.2.3).
       state.RunLevel(ctx, &level, ctx->storage(), window, ctx->num_slots(),
-                     &scratch, &sink);
+                     &scratch, &sink, level_no);
       TimedBarrierWait(&barrier, counters);
 
       // Level transition (storage swap) by the master, then release
@@ -45,6 +47,7 @@ Status BuildTreeMwk(BuildContext* ctx, std::vector<LeafTask> level) {
         }
       }
       TimedBarrierWait(&barrier, counters);
+      ++level_no;
     }
   };
 

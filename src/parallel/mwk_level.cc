@@ -19,7 +19,7 @@ void MwkPipeline::WaitForLeaf(size_t idx, BuildCounters* counters) {
                  "MwkPipeline::WaitForLeaf on a leaf index outside the "
                  "armed level");
   if (w_done_[idx]) return;
-  WaitTimer wt(counters);
+  WaitTimer wt(counters, "leaf_wait");
   while (!w_done_[idx]) cv_.Wait(mu_);
 }
 
@@ -53,7 +53,7 @@ void MwkPipeline::OpenGate() {
 void MwkPipeline::WaitGate(BuildCounters* counters) {
   MutexLock lock(mu_);
   if (gate_open_) return;
-  WaitTimer wt(counters);
+  WaitTimer wt(counters, "gate_wait");
   while (!gate_open_) cv_.Wait(mu_);
 }
 
@@ -82,49 +82,54 @@ void MwkLevelState::Arm(const std::vector<LeafTask>& level, int num_attrs) {
 void MwkLevelState::RunLevel(BuildContext* ctx, std::vector<LeafTask>* level,
                              LevelStorage* storage, size_t window,
                              int num_slots, GiniScratch* scratch,
-                             ErrorSink* sink) {
+                             ErrorSink* sink, int depth) {
   BuildCounters* counters = ctx->counters();
 
   // E/W pipeline: (leaf, attr) tasks in leaf-major order; before touching
   // leaf i, wait until leaf i-K -- which shares its slot -- was processed.
-  size_t waited_for = 0;  // leaves [0, waited_for) known processed
-  for (int64_t task = e_sched_.Next(); task >= 0; task = e_sched_.Next()) {
-    const size_t leaf_idx = static_cast<size_t>(task / num_attrs_);
-    const int attr = static_cast<int>(task % num_attrs_);
-    if (leaf_idx >= window) {
-      const size_t dep = leaf_idx - window;
-      if (dep >= waited_for) {
-        pipeline_.WaitForLeaf(dep, counters);
-        waited_for = dep + 1;
-      }
-      pipeline_.AssertProcessed(dep);
-    }
-    if (!sink->aborted()) {
-      sink->Record(
-          ctx->EvaluateLeafAttr(&(*level)[leaf_idx], attr, scratch, storage));
-    }
-    // Last finisher on the leaf constructs its hash probe and signals the
-    // moving window forward.
-    if (remaining_[leaf_idx]->fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      if (!sink->aborted()) {
-        sink->Record(ctx->RunW(&(*level)[leaf_idx], storage));
-      }
-      if (pipeline_.MarkDone(leaf_idx)) {
-        // Last probe of the level: lay out the children and arm the split
-        // phase, then release the peers waiting at the gate.
-        if (!sink->aborted()) {
-          ctx->AssignChildSlots(level, num_slots);
+  // E and W interleave in the moving window, so they share one span.
+  {
+    TraceSpan span("E+W", "phase", depth, static_cast<int64_t>(level->size()));
+    size_t waited_for = 0;  // leaves [0, waited_for) known processed
+    for (int64_t task = e_sched_.Next(); task >= 0; task = e_sched_.Next()) {
+      const size_t leaf_idx = static_cast<size_t>(task / num_attrs_);
+      const int attr = static_cast<int>(task % num_attrs_);
+      if (leaf_idx >= window) {
+        const size_t dep = leaf_idx - window;
+        if (dep >= waited_for) {
+          pipeline_.WaitForLeaf(dep, counters);
+          waited_for = dep + 1;
         }
-        s_sched_.Reset(num_attrs_);
-        pipeline_.OpenGate();
+        pipeline_.AssertProcessed(dep);
+      }
+      if (!sink->aborted()) {
+        sink->Record(
+            ctx->EvaluateLeafAttr(&(*level)[leaf_idx], attr, scratch, storage));
+      }
+      // Last finisher on the leaf constructs its hash probe and signals the
+      // moving window forward.
+      if (remaining_[leaf_idx]->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (!sink->aborted()) {
+          sink->Record(ctx->RunW(&(*level)[leaf_idx], storage));
+        }
+        if (pipeline_.MarkDone(leaf_idx)) {
+          // Last probe of the level: lay out the children and arm the split
+          // phase, then release the peers waiting at the gate.
+          if (!sink->aborted()) {
+            ctx->AssignChildSlots(level, num_slots);
+          }
+          s_sched_.Reset(num_attrs_);
+          pipeline_.OpenGate();
+        }
       }
     }
+    pipeline_.WaitGate(counters);
   }
-  pipeline_.WaitGate(counters);
 
   // S: dynamic attribute scheduling (the gate above is the only
   // synchronization separating it from the pipeline).
   if (!sink->aborted()) {
+    TraceSpan span("S", "phase", depth);
     for (int64_t a = s_sched_.Next(); a >= 0; a = s_sched_.Next()) {
       sink->Record(ctx->SplitAttribute(static_cast<int>(a), *level, storage));
       if (sink->aborted()) break;

@@ -71,11 +71,11 @@ class MwkLevelState {
 
   /// Runs this thread's share of the level: the E/W pipeline with window
   /// `window`, then the split phase over `storage`. `num_slots` is the slot
-  /// count used for child layout. Every team member must call this exactly
-  /// once per Arm.
+  /// count used for child layout; `depth` tags the level's trace spans (-1
+  /// when unknown). Every team member must call this exactly once per Arm.
   void RunLevel(BuildContext* ctx, std::vector<LeafTask>* level,
                 LevelStorage* storage, size_t window, int num_slots,
-                GiniScratch* scratch, ErrorSink* sink);
+                GiniScratch* scratch, ErrorSink* sink, int depth = -1);
 
  private:
   MwkPipeline pipeline_;

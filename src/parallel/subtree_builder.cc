@@ -18,6 +18,7 @@ namespace {
 /// One processor group working on one subtree's leaf frontier.
 struct Group {
   std::vector<int> members;  // thread ids, sorted; members[0] is the master
+  int depth = 0;             // tree depth of the frontier (root group = 0)
   std::vector<LeafTask> level;
   std::unique_ptr<LevelStorage> storage;
   std::unique_ptr<Barrier> barrier;
@@ -48,10 +49,12 @@ struct Coordinator {
 
 std::shared_ptr<Group> NewGroup(BuildContext* ctx, std::vector<int> members,
                                 std::vector<LeafTask> level,
-                                std::unique_ptr<LevelStorage> storage) {
+                                std::unique_ptr<LevelStorage> storage,
+                                int depth) {
   auto g = std::make_shared<Group>();
   std::sort(members.begin(), members.end());
   g->members = std::move(members);
+  g->depth = depth;
   g->level = std::move(level);
   g->storage = std::move(storage);
   g->barrier = std::make_unique<Barrier>(static_cast<int>(g->members.size()));
@@ -105,13 +108,15 @@ void RunGroupLevel(BuildContext* ctx, Group* g, LevelStorage* storage, int tid,
     // before the master's regrouping decision.
     g->mwk.RunLevel(ctx, &g->level, storage,
                     static_cast<size_t>(ctx->options().window),
-                    storage->num_slots(), scratch, sink);
+                    storage->num_slots(), scratch, sink, g->depth);
     TimedBarrierWait(g->barrier.get(), counters);
     return;
   }
 
   // E: dynamic attribute scheduling over the group's frontier.
   if (!sink->aborted()) {
+    TraceSpan span("E", "phase", g->depth,
+                   static_cast<int64_t>(g->level.size()));
     for (int64_t a = g->e_sched.Next(); a >= 0; a = g->e_sched.Next()) {
       sink->Record(ctx->EvaluateAttrForLeaves(static_cast<int>(a), &g->level,
                                               0, g->level.size(), scratch,
@@ -123,6 +128,8 @@ void RunGroupLevel(BuildContext* ctx, Group* g, LevelStorage* storage, int tid,
 
   // W: the group master finds winners and builds the probes.
   if (tid == g->master() && !sink->aborted()) {
+    TraceSpan span("W", "phase", g->depth,
+                   static_cast<int64_t>(g->level.size()));
     for (LeafTask& leaf : g->level) {
       Status s = ctx->RunW(&leaf, storage);
       sink->Record(s);
@@ -135,6 +142,7 @@ void RunGroupLevel(BuildContext* ctx, Group* g, LevelStorage* storage, int tid,
 
   // S: dynamic attribute scheduling into the group's alternate set.
   if (!sink->aborted()) {
+    TraceSpan span("S", "phase", g->depth);
     for (int64_t a = g->s_sched.Next(); a >= 0; a = g->s_sched.Next()) {
       sink->Record(
           ctx->SplitAttribute(static_cast<int>(a), g->level, storage));
@@ -165,7 +173,8 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
   {
     std::vector<int> all(threads);
     for (int t = 0; t < threads; ++t) all[t] = t;
-    auto root = NewGroup(ctx, std::move(all), std::move(level), nullptr);
+    auto root = NewGroup(ctx, std::move(all), std::move(level), nullptr,
+                         /*depth=*/0);
     MutexLock lock(coord.mu);
     for (int t = 0; t < threads; ++t) coord.mailbox[t] = root;
   }
@@ -208,7 +217,7 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
         // One leaf (all processors stay on it) or one processor (works the
         // whole frontier alone): the group carries on, possibly enlarged.
         auto carried = NewGroup(ctx, procs, std::move(next),
-                                std::move(g->storage));
+                                std::move(g->storage), g->depth + 1);
         for (int m : carried->members) coord.mailbox[m] = carried;
       } else {
         // Split the leaves (balanced by records) and the processors
@@ -246,7 +255,7 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
               &child_storage);
           sink.Record(s);
           return NewGroup(ctx, std::move(members), std::move(leaves),
-                          std::move(child_storage));
+                          std::move(child_storage), g->depth + 1);
         };
         auto left_group = make_child(std::move(left_members),
                                      std::move(left_leaves));
@@ -268,6 +277,7 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
   };
 
   auto worker = [&](int tid) {
+    TraceThreadBinding trace(ctx->trace(), tid);
     GiniScratch scratch;
     std::shared_ptr<Group> g;
     {
@@ -285,7 +295,7 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
           // The predicate can only flip under coord.mu, so checking it
           // false here means the wait below really blocks (WaitTimer
           // records actual blocked waits only).
-          WaitTimer wt(counters);
+          WaitTimer wt(counters, "free_idle");
           while (coord.mailbox[tid] == nullptr && !coord.done) {
             coord.cv.Wait(coord.mu);
           }
@@ -310,7 +320,7 @@ Status BuildTreeSubtree(BuildContext* ctx, std::vector<LeafTask> level) {
       } else {
         MutexLock glock(g->mu);
         if (!g->decision_ready) {
-          WaitTimer wt(counters);
+          WaitTimer wt(counters, "decision_wait", g->depth);
           while (!g->decision_ready) g->cv.Wait(g->mu);
         }
       }

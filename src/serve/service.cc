@@ -155,6 +155,12 @@ HttpResponse InferenceService::HandleStatz(const HttpRequest&) {
       JsonNumber(static_cast<double>(stats.p50_nanos) / 1e6).c_str(),
       JsonNumber(static_cast<double>(stats.p90_nanos) / 1e6).c_str(),
       JsonNumber(static_cast<double>(stats.p99_nanos) / 1e6).c_str());
+  if (!options_.build_stats_json.empty()) {
+    // Splice the training-run BuildStats in as a "build" member before the
+    // outer closing brace (the body above always ends "}}\n").
+    const size_t tail = response.body.rfind("}\n");
+    response.body.insert(tail, ", \"build\": " + options_.build_stats_json);
+  }
   return response;
 }
 

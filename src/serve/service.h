@@ -34,6 +34,12 @@ struct ServiceOptions {
   HttpServer::Options http;
   /// When false, POST /v1/reload answers 403 (immutable deployments).
   bool allow_reload = true;
+  /// Optional BuildStats JSON of the served model's training run (as written
+  /// by `smptree_cli train --stats-out`). When non-empty it is embedded
+  /// verbatim as the "build" section of /statz, so a deployment carries its
+  /// training-time phase/wait breakdown next to the serving metrics. Must be
+  /// a single valid JSON object; smptree_serve validates it at startup.
+  std::string build_stats_json;
 };
 
 class InferenceService {

@@ -34,16 +34,20 @@ std::string RunningStat::ToString() const {
 }
 
 void BuildCounters::Reset() {
-  barrier_waits = 0;
-  condvar_waits = 0;
-  records_scanned = 0;
-  records_split = 0;
-  attr_tasks = 0;
-  free_queue_rounds = 0;
-  wait_nanos = 0;
-  e_nanos = 0;
-  w_nanos = 0;
-  s_nanos = 0;
+  // Quiescent-only (see header): the exclusive scope aborts a debug build if
+  // any PhaseTimer / WaitTimer scope is in flight, and the relaxed stores
+  // are safe exactly because the contract rules out concurrent fetch_adds.
+  debug::ExclusiveScope quiescent(reset_check);
+  barrier_waits.store(0, std::memory_order_relaxed);
+  condvar_waits.store(0, std::memory_order_relaxed);
+  records_scanned.store(0, std::memory_order_relaxed);
+  records_split.store(0, std::memory_order_relaxed);
+  attr_tasks.store(0, std::memory_order_relaxed);
+  free_queue_rounds.store(0, std::memory_order_relaxed);
+  wait_nanos.store(0, std::memory_order_relaxed);
+  e_nanos.store(0, std::memory_order_relaxed);
+  w_nanos.store(0, std::memory_order_relaxed);
+  s_nanos.store(0, std::memory_order_relaxed);
 }
 
 std::string BuildCounters::ToString() const {
@@ -51,8 +55,41 @@ std::string BuildCounters::ToString() const {
   os << "barriers=" << barrier_waits.load() << " cv_waits=" << condvar_waits.load()
      << " scanned=" << records_scanned.load() << " split=" << records_split.load()
      << " tasks=" << attr_tasks.load() << " free_rounds=" << free_queue_rounds.load()
-     << " wait_ms=" << static_cast<double>(wait_nanos.load()) / 1e6;
+     << " wait_ms=" << static_cast<double>(wait_nanos.load()) / 1e6
+     << " e_ms=" << static_cast<double>(e_nanos.load()) / 1e6
+     << " w_ms=" << static_cast<double>(w_nanos.load()) / 1e6
+     << " s_ms=" << static_cast<double>(s_nanos.load()) / 1e6;
   return os.str();
+}
+
+namespace {
+// Per-thread blocked-time ledger (monotone; never reset -- PhaseTimer only
+// looks at deltas, so a fresh thread starting at an arbitrary base is fine).
+thread_local uint64_t t_blocked_nanos = 0;
+}  // namespace
+
+uint64_t ThreadBlockedNanos() { return t_blocked_nanos; }
+
+void AddThreadBlockedNanos(uint64_t nanos) { t_blocked_nanos += nanos; }
+
+PhaseTimer::PhaseTimer(BuildCounters* counters, BuildPhase phase)
+    : counters_(counters),
+      phase_(phase),
+      blocked_at_start_(ThreadBlockedNanos()),
+      start_(std::chrono::steady_clock::now()) {
+  counters_->reset_check.EnterShared();
+}
+
+PhaseTimer::~PhaseTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const uint64_t wall = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  // Blocked time this thread accrued inside the scope is already booked in
+  // wait_nanos; subtract it so the phase counter is compute-only.
+  const uint64_t blocked = ThreadBlockedNanos() - blocked_at_start_;
+  const uint64_t compute = wall > blocked ? wall - blocked : 0;
+  counters_->PhaseNanos(phase_).fetch_add(compute, std::memory_order_relaxed);
+  counters_->reset_check.ExitShared();
 }
 
 }  // namespace smptree

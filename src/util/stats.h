@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/debug_checks.h"
+
 namespace smptree {
 
 /// Welford online accumulator for a stream of doubles.
@@ -35,8 +37,19 @@ class RunningStat {
   double max_ = 0.0;
 };
 
+/// The three per-level build phases of the paper (evaluate splits, find
+/// winners/build probe structures, split attribute lists).
+enum class BuildPhase { kEvaluate, kWinner, kSplit };
+
 /// Counters a parallel build exports for the ablation benchmarks. All fields
 /// are cumulative across threads and levels.
+///
+/// Accounting model: `wait_nanos` is the total *blocked* time booked by
+/// WaitTimer / TimedBarrierWait; `e_nanos`/`w_nanos`/`s_nanos` are
+/// *compute-only* -- PhaseTimer subtracts any blocked time its thread
+/// accrued inside the phase scope, so the three phase counters and
+/// wait_nanos partition a thread's busy time instead of double-counting it
+/// (phase + wait <= wall x threads).
 struct BuildCounters {
   std::atomic<uint64_t> barrier_waits{0};       ///< Barrier::Wait calls.
   std::atomic<uint64_t> condvar_waits{0};       ///< cond-var sleeps (MWK/SUBTREE).
@@ -46,37 +59,64 @@ struct BuildCounters {
   std::atomic<uint64_t> free_queue_rounds{0};   ///< SUBTREE FREE-queue cycles.
   std::atomic<uint64_t> wait_nanos{0};          ///< total blocked time (ns).
 
-  // Per-phase CPU time across all threads (paper steps E, W, S), letting
+  // Per-phase compute time across all threads (paper steps E, W, S), letting
   // the benchmarks show e.g. how large a share of BASIC's critical path the
   // master-only W step is.
   std::atomic<uint64_t> e_nanos{0};
   std::atomic<uint64_t> w_nanos{0};
   std::atomic<uint64_t> s_nanos{0};
 
+  /// Returns the counter for `phase`.
+  std::atomic<uint64_t>& PhaseNanos(BuildPhase phase) {
+    switch (phase) {
+      case BuildPhase::kEvaluate: return e_nanos;
+      case BuildPhase::kWinner: return w_nanos;
+      case BuildPhase::kSplit: return s_nanos;
+    }
+    return e_nanos;  // unreachable
+  }
+
+  /// Zeroes every counter. Quiescent-only, like DynamicScheduler::Reset:
+  /// the caller must guarantee (typically via a barrier) that no thread is
+  /// concurrently accumulating -- the stores are relaxed and would race with
+  /// in-flight fetch_adds' expectations otherwise. Debug builds enforce the
+  /// contract against PhaseTimer / WaitTimer / TimedBarrierWait scopes.
   void Reset();
   std::string ToString() const;
+
+  /// Overlap detector for the Reset()-vs-accumulate contract. Accumulating
+  /// RAII scopes (PhaseTimer, WaitTimer) hold it shared; Reset holds it
+  /// exclusive. Compiled to nothing in release builds.
+  debug::SharedExclusiveCheck reset_check{"BuildCounters::Reset"};
 };
 
-/// RAII accumulator adding a scope's wall time to one phase counter.
+/// Blocked-time ledger of the calling thread: total nanoseconds this thread
+/// has spent in WaitTimer / TimedBarrierWait scopes, ever. PhaseTimer diffs
+/// it around a phase scope to subtract blocked time from the phase counter.
+uint64_t ThreadBlockedNanos();
+
+/// Adds `nanos` to the calling thread's blocked-time ledger. Called by the
+/// wait primitives (WaitTimer, TimedBarrierWait); custom wait paths that
+/// book into BuildCounters::wait_nanos directly must mirror the amount here,
+/// or PhaseTimer will double-count their blocked time as compute.
+void AddThreadBlockedNanos(uint64_t nanos);
+
+/// RAII accumulator adding a scope's *compute* time to one phase counter:
+/// wall time minus any blocked time the calling thread accrued inside the
+/// scope (see the BuildCounters accounting model). Holds the counters'
+/// reset_check shared for the duration of the scope.
 class PhaseTimer {
  public:
-  explicit PhaseTimer(std::atomic<uint64_t>* sink) : sink_(sink) {
-    start_ = std::chrono::steady_clock::now();
-  }
-  ~PhaseTimer() {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    sink_->fetch_add(
-        static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()),
-        std::memory_order_relaxed);
-  }
+  PhaseTimer(BuildCounters* counters, BuildPhase phase);
+  ~PhaseTimer();
 
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
  private:
-  std::atomic<uint64_t>* sink_;
+  BuildCounters* counters_;
+  BuildPhase phase_;
+  uint64_t blocked_at_start_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,165 @@
+// BuildStats assembly and invariants: the per-thread compute-vs-blocked
+// fold from a real traced build, the JSON export, and the counter-parity
+// property that all four SMP schemes scan and split exactly the same number
+// of attribute records as each other on the same data (they build the same
+// tree, so the storage traffic must match).
+
+#include "core/build_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "data/synthetic.h"
+#include "serve/json.h"
+#include "util/trace.h"
+
+namespace smptree {
+namespace {
+
+Dataset MakeData(int function, int64_t tuples) {
+  SyntheticConfig cfg;
+  cfg.function = function;
+  cfg.num_tuples = tuples;
+  cfg.seed = 20260806;
+  auto data = GenerateSynthetic(cfg);
+  EXPECT_TRUE(data.ok());
+  return std::move(*data);
+}
+
+TrainResult TracedBuild(const Dataset& data, Algorithm algorithm, int threads,
+                        TraceRecorder* recorder) {
+  ClassifierOptions options;
+  options.build.algorithm = algorithm;
+  options.build.num_threads = threads;
+  options.build.trace = recorder;
+  auto result = TrainClassifier(data, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+TEST(BuildStatsTest, WaitShare) {
+  BuildStats stats;
+  stats.num_threads = 2;
+  stats.wall_nanos = 2'000'000'000;
+  stats.wait_nanos = 2'000'000'000;
+  EXPECT_DOUBLE_EQ(stats.WaitShare(), 0.5);
+  stats.wall_nanos = 0;
+  EXPECT_DOUBLE_EQ(stats.WaitShare(), 0.0);
+}
+
+TEST(BuildStatsTest, UntracedBuildHasNoThreadSection) {
+  const Dataset data = MakeData(1, 1000);
+  ClassifierOptions options;
+  options.build.algorithm = Algorithm::kBasic;
+  options.build.num_threads = 2;
+  auto result = TrainClassifier(data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BuildStats& stats = result->stats.build_stats;
+  EXPECT_EQ(stats.algorithm, "BASIC");
+  EXPECT_EQ(stats.num_threads, 2);
+  EXPECT_GT(stats.wall_nanos, 0u);
+  EXPECT_GT(stats.records_scanned, 0u);
+  EXPECT_TRUE(stats.threads.empty());
+  EXPECT_FALSE(stats.levels.empty());
+}
+
+class TracedBuildTest : public ::testing::TestWithParam<Algorithm> {};
+
+// Per-thread invariants of the trace fold: compute never exceeds the phase
+// wall it was carved from, and neither phase nor blocked time on any single
+// thread exceeds the build's wall clock (with slack for scheduling noise
+// and the wall timer starting slightly before the thread team).
+TEST_P(TracedBuildTest, PerThreadAccountingInvariants) {
+  const Dataset data = MakeData(5, 2000);
+  TraceRecorder recorder;
+  TrainResult result = TracedBuild(data, GetParam(), 2, &recorder);
+  const BuildStats& stats = result.stats.build_stats;
+
+  ASSERT_EQ(stats.threads.size(), 2u);
+  const uint64_t slack_nanos = 100'000'000;  // 100ms
+  for (const ThreadBuildStats& t : stats.threads) {
+    EXPECT_LE(t.compute_nanos, t.phase_nanos) << "tid " << t.tid;
+    EXPECT_LE(t.phase_nanos, stats.wall_nanos + slack_nanos)
+        << "tid " << t.tid;
+    EXPECT_LE(t.blocked_nanos, stats.wall_nanos + slack_nanos)
+        << "tid " << t.tid;
+    EXPECT_GT(t.phase_spans, 0u) << "tid " << t.tid;
+  }
+  // Aggregate sanity: total thread-time cannot exceed P x wall (plus slack).
+  uint64_t compute = 0, blocked = 0;
+  for (const ThreadBuildStats& t : stats.threads) {
+    compute += t.compute_nanos;
+    blocked += t.blocked_nanos;
+  }
+  EXPECT_LE(compute + blocked,
+            2 * (stats.wall_nanos + slack_nanos));
+  // The counter-side phase totals are compute-only, so they obey the same
+  // bound.
+  EXPECT_LE(stats.e_nanos + stats.w_nanos + stats.s_nanos,
+            2 * (stats.wall_nanos + slack_nanos));
+}
+
+TEST_P(TracedBuildTest, ToJsonParsesAndCarriesKeys) {
+  const Dataset data = MakeData(5, 1500);
+  TraceRecorder recorder;
+  TrainResult result = TracedBuild(data, GetParam(), 2, &recorder);
+  const std::string json = result.stats.build_stats.ToJson();
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  ASSERT_TRUE(parsed->is_object());
+  for (const char* key :
+       {"algorithm", "num_threads", "wall_ms", "e_ms", "w_ms", "s_ms",
+        "wait_ms", "wait_share", "barrier_waits", "condvar_waits",
+        "records_scanned", "records_split", "levels", "threads"}) {
+    EXPECT_NE(parsed->Find(key), nullptr) << "missing key " << key;
+  }
+  const JsonValue* threads = parsed->Find("threads");
+  ASSERT_TRUE(threads->is_array());
+  EXPECT_EQ(threads->array_items().size(), 2u);
+  const JsonValue* levels = parsed->Find("levels");
+  ASSERT_TRUE(levels->is_array());
+  EXPECT_FALSE(levels->array_items().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, TracedBuildTest,
+                         ::testing::Values(Algorithm::kBasic, Algorithm::kFwk,
+                                           Algorithm::kMwk,
+                                           Algorithm::kSubtree),
+                         [](const ::testing::TestParamInfo<Algorithm>& info) {
+                           return std::string(AlgorithmName(info.param));
+                         });
+
+// All schemes build the identical tree from identical lists, so the records
+// they scan in E and move in S must agree exactly -- a regression net for
+// counter bookkeeping drift in any one builder.
+TEST(CounterParityTest, RecordsScannedAndSplitMatchAcrossBuilders) {
+  const Dataset data = MakeData(7, 2500);
+
+  ClassifierOptions serial;
+  serial.build.algorithm = Algorithm::kSerial;
+  auto baseline = TrainClassifier(data, serial);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const uint64_t scanned = baseline->stats.build_stats.records_scanned;
+  const uint64_t split = baseline->stats.build_stats.records_split;
+  ASSERT_GT(scanned, 0u);
+  ASSERT_GT(split, 0u);
+
+  for (Algorithm algorithm : {Algorithm::kBasic, Algorithm::kFwk,
+                              Algorithm::kMwk, Algorithm::kSubtree}) {
+    ClassifierOptions options;
+    options.build.algorithm = algorithm;
+    options.build.num_threads = 2;
+    auto result = TrainClassifier(data, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->stats.build_stats.records_scanned, scanned)
+        << AlgorithmName(algorithm);
+    EXPECT_EQ(result->stats.build_stats.records_split, split)
+        << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace smptree

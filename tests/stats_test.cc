@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 namespace smptree {
 namespace {
 
@@ -44,10 +47,14 @@ TEST(BuildCountersTest, ResetZeroesEverything) {
   c.barrier_waits = 3;
   c.records_scanned = 100;
   c.wait_nanos = 5;
+  c.e_nanos = 9;
+  c.s_nanos = 11;
   c.Reset();
   EXPECT_EQ(c.barrier_waits.load(), 0u);
   EXPECT_EQ(c.records_scanned.load(), 0u);
   EXPECT_EQ(c.wait_nanos.load(), 0u);
+  EXPECT_EQ(c.e_nanos.load(), 0u);
+  EXPECT_EQ(c.s_nanos.load(), 0u);
 }
 
 TEST(BuildCountersTest, ToStringMentionsFields) {
@@ -55,6 +62,70 @@ TEST(BuildCountersTest, ToStringMentionsFields) {
   c.barrier_waits = 7;
   const std::string s = c.ToString();
   EXPECT_NE(s.find("barriers=7"), std::string::npos);
+}
+
+// Regression: ToString used to omit the three phase-time counters entirely.
+TEST(BuildCountersTest, ToStringIncludesPhaseMillis) {
+  BuildCounters c;
+  c.e_nanos = 1'500'000;  // 1.5ms
+  c.w_nanos = 2'000'000;
+  c.s_nanos = 250'000;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("e_ms="), std::string::npos) << s;
+  EXPECT_NE(s.find("w_ms="), std::string::npos) << s;
+  EXPECT_NE(s.find("s_ms="), std::string::npos) << s;
+}
+
+TEST(BuildCountersTest, PhaseNanosSelectsCounter) {
+  BuildCounters c;
+  c.PhaseNanos(BuildPhase::kEvaluate).fetch_add(1);
+  c.PhaseNanos(BuildPhase::kWinner).fetch_add(2);
+  c.PhaseNanos(BuildPhase::kSplit).fetch_add(3);
+  EXPECT_EQ(c.e_nanos.load(), 1u);
+  EXPECT_EQ(c.w_nanos.load(), 2u);
+  EXPECT_EQ(c.s_nanos.load(), 3u);
+}
+
+TEST(PhaseTimerTest, AccumulatesWallTime) {
+  BuildCounters c;
+  {
+    PhaseTimer timer(&c, BuildPhase::kEvaluate);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // At least the sleep, minus nothing: no blocked time was booked.
+  EXPECT_GE(c.e_nanos.load(), 5'000'000u);
+}
+
+// Regression: PhaseTimer used to book a phase's full wall time even when
+// part of it was spent blocked (WaitTimer / barrier), double-counting the
+// overlap into both the phase counter and wait_nanos. The fix subtracts the
+// thread's blocked-ledger delta across the scope.
+TEST(PhaseTimerTest, SubtractsBlockedTimeAccruedInsideScope) {
+  BuildCounters c;
+  {
+    PhaseTimer timer(&c, BuildPhase::kSplit);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Simulate a wait primitive booking the whole scope so far (and more)
+    // as blocked. Compute must clamp at >= 0, well below the wall time.
+    AddThreadBlockedNanos(1'000'000'000);
+  }
+  EXPECT_LT(c.s_nanos.load(), 10'000'000u) << c.s_nanos.load();
+}
+
+TEST(PhaseTimerTest, BlockedTimeOutsideScopeDoesNotSubtract) {
+  AddThreadBlockedNanos(500'000'000);  // before the scope: irrelevant
+  BuildCounters c;
+  {
+    PhaseTimer timer(&c, BuildPhase::kWinner);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(c.w_nanos.load(), 5'000'000u);
+}
+
+TEST(ThreadBlockedNanosTest, LedgerIsMonotone) {
+  const uint64_t before = ThreadBlockedNanos();
+  AddThreadBlockedNanos(123);
+  EXPECT_EQ(ThreadBlockedNanos(), before + 123);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/classifier.h"
+#include "data/synthetic.h"
+#include "serve/json.h"
+
+namespace smptree {
+namespace {
+
+TEST(TraceSpanTest, UnboundThreadRecordsNothing) {
+  TraceRecorder recorder;
+  {
+    TraceSpan span("E", "phase", 0);
+  }
+  EXPECT_EQ(recorder.num_events(), 0u);
+  EXPECT_EQ(recorder.num_threads(), 0);
+}
+
+TEST(TraceSpanTest, NullRecorderBindingIsNoop) {
+  TraceThreadBinding binding(nullptr, 0);
+  TraceSpan span("E", "phase", 0);
+  // Nothing to assert beyond "does not crash": no buffer exists.
+}
+
+TEST(TraceSpanTest, BoundThreadRecordsSpans) {
+  TraceRecorder recorder;
+  {
+    TraceThreadBinding binding(&recorder, 3);
+    { TraceSpan span("E", "phase", 0, 7); }
+    { TraceSpan span("barrier", "wait"); }
+  }
+  ASSERT_EQ(recorder.num_threads(), 1);
+  EXPECT_EQ(recorder.thread_tid(0), 3);
+  const std::vector<TraceEvent>& events = recorder.thread_events(0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "E");
+  EXPECT_STREQ(events[0].cat, "phase");
+  EXPECT_EQ(events[0].level, 0);
+  EXPECT_EQ(events[0].arg, 7);
+  EXPECT_STREQ(events[1].name, "barrier");
+  EXPECT_STREQ(events[1].cat, "wait");
+  EXPECT_EQ(events[1].level, -1);
+}
+
+TEST(TraceSpanTest, BindingRestoresPreviousBuffer) {
+  TraceRecorder outer;
+  TraceRecorder inner;
+  TraceThreadBinding outer_binding(&outer, 0);
+  {
+    TraceThreadBinding inner_binding(&inner, 0);
+    TraceSpan span("inner", "phase");
+  }
+  { TraceSpan span("outer", "phase"); }
+  ASSERT_EQ(inner.num_events(), 1u);
+  ASSERT_EQ(outer.num_events(), 1u);
+  EXPECT_STREQ(outer.thread_events(0)[0].name, "outer");
+}
+
+TEST(TraceSpanTest, TimestampsAreMonotonicPerThread) {
+  TraceRecorder recorder;
+  {
+    TraceThreadBinding binding(&recorder, 0);
+    for (int i = 0; i < 100; ++i) {
+      TraceSpan span("E", "phase", i);
+    }
+  }
+  const std::vector<TraceEvent>& events = recorder.thread_events(0);
+  ASSERT_EQ(events.size(), 100u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    // Sequential RAII scopes: each span starts no earlier than the previous
+    // one started, and no earlier than the previous one ended.
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns + events[i - 1].dur_ns);
+  }
+}
+
+TEST(TraceRecorderTest, ConcurrentAttachIsSafe) {
+  TraceRecorder recorder;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&recorder, t] {
+      TraceThreadBinding binding(&recorder, t);
+      for (int i = 0; i < 50; ++i) {
+        TraceSpan span("S", "phase", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.num_threads(), 8);
+  EXPECT_EQ(recorder.num_events(), 8u * 50u);
+}
+
+// The Chrome JSON must parse and contain one "X" object per span plus one
+// thread_name metadata object per thread.
+TEST(TraceRecorderTest, ChromeJsonIsWellFormed) {
+  TraceRecorder recorder;
+  {
+    TraceThreadBinding binding(&recorder, 1);
+    { TraceSpan span("E", "phase", 0, 42); }
+    { TraceSpan span("gate_wait", "wait", 2); }
+  }
+  {
+    TraceThreadBinding binding(&recorder, 0);
+    TraceSpan span("S", "phase", 1);
+  }
+  const std::string json = recorder.ToChromeJson();
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  const JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  int metadata = 0, complete = 0;
+  for (const JsonValue& ev : events->array_items()) {
+    const JsonValue* ph = ev.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string_value() == "M") {
+      ++metadata;
+    } else if (ph->string_value() == "X") {
+      ++complete;
+      EXPECT_NE(ev.Find("ts"), nullptr);
+      EXPECT_NE(ev.Find("dur"), nullptr);
+      EXPECT_NE(ev.Find("name"), nullptr);
+      EXPECT_GE(ev.Find("dur")->number_value(), 0.0);
+    } else {
+      FAIL() << "unexpected event phase " << ph->string_value();
+    }
+  }
+  EXPECT_EQ(metadata, 2);
+  EXPECT_EQ(complete, 3);
+}
+
+TEST(TraceRecorderTest, EmptyRecorderStillEmitsValidJson) {
+  TraceRecorder recorder;
+  auto parsed = ParseJson(recorder.ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Find("traceEvents")->is_array());
+}
+
+// End to end: a traced 2-thread MWK build produces parseable Chrome JSON
+// with per-level phase spans on every thread.
+TEST(TraceBuildTest, TracedMwkBuildEmitsPhaseSpans) {
+  SyntheticConfig cfg;
+  cfg.function = 5;
+  cfg.num_tuples = 2000;
+  auto data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.ok());
+
+  TraceRecorder recorder;
+  ClassifierOptions options;
+  options.build.algorithm = Algorithm::kMwk;
+  options.build.num_threads = 2;
+  options.build.trace = &recorder;
+  auto result = TrainClassifier(*data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(recorder.num_threads(), 2);
+  EXPECT_GT(recorder.num_events(), 0u);
+  bool saw_phase = false;
+  for (int i = 0; i < recorder.num_threads(); ++i) {
+    for (const TraceEvent& ev : recorder.thread_events(i)) {
+      if (std::string(ev.cat) == "phase") {
+        saw_phase = true;
+        EXPECT_GE(ev.level, 0);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_phase);
+
+  auto parsed = ParseJson(recorder.ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+}  // namespace
+}  // namespace smptree

@@ -1,17 +1,28 @@
 #!/usr/bin/env python3
-"""Convert bench/micro_kernels google-benchmark JSON output to BENCH_core.json.
+"""Convert raw bench output to the checked-in BENCH_*.json artifacts.
 
-Usage:
-  ./build/bench/micro_kernels --benchmark_out=gbench.json \
-      --benchmark_out_format=json
-  python3 tools/bench_to_json.py gbench.json -o BENCH_core.json
+Two input formats, detected automatically:
 
-The output is a small machine-readable summary: per-benchmark ns/record
-(derived from items_per_second) plus the speedup ratios the kernel layer is
-judged by (AoS reference vs SoA kernel for the E-phase scans and categorical
-tabulation, direct vs buffered for the S-phase split). Benchmark family
-names are a contract with bench/micro_kernels.cc -- see the header comment
-there before renaming anything.
+  * google-benchmark JSON from bench/micro_kernels -> BENCH_core.json
+      ./build/bench/micro_kernels --benchmark_out=gbench.json \
+          --benchmark_out_format=json
+      python3 tools/bench_to_json.py gbench.json -o BENCH_core.json
+
+  * "suite": "parallel_builders" JSON from bench/speedup_builders
+    -> BENCH_parallel.json
+      ./build/bench/speedup_builders --threads 1,2,4 --out runs.json
+      python3 tools/bench_to_json.py runs.json -o BENCH_parallel.json
+
+For the kernel suite the output is per-benchmark ns/record (derived from
+items_per_second) plus the AoS-vs-SoA / direct-vs-buffered speedup ratios.
+Benchmark family names are a contract with bench/micro_kernels.cc -- see the
+header comment there before renaming anything.
+
+For the parallel suite the output groups runs by (function, algorithm) and
+derives, per thread count, the build-time speedup relative to that
+algorithm's threads=1 run plus the wait share
+(wait_seconds / (threads * build_seconds)). A missing threads=1 baseline for
+any series is an error: speedups would be meaningless.
 """
 
 import argparse
@@ -48,18 +59,7 @@ def family_of(name):
     return "/".join(keep)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("input", help="google-benchmark JSON file ('-' = stdin)")
-    ap.add_argument("-o", "--output", default="BENCH_core.json")
-    args = ap.parse_args()
-
-    if args.input == "-":
-        raw = json.load(sys.stdin)
-    else:
-        with open(args.input) as f:
-            raw = json.load(f)
-
+def convert_kernels(raw, output):
     benchmarks = []
     by_family = {}
     for bench in raw.get("benchmarks", []):
@@ -93,16 +93,94 @@ def main():
         "benchmarks": benchmarks,
         "derived": derived,
     }
-    with open(args.output, "w") as f:
+    with open(output, "w") as f:
         json.dump(out, f, indent=2)
         f.write("\n")
-    print(f"wrote {args.output} ({len(benchmarks)} benchmarks)")
+    print(f"wrote {output} ({len(benchmarks)} benchmarks)")
     missing = [k for k, v in derived.items() if v is None]
     if missing:
         print(f"warning: missing inputs for: {', '.join(missing)}",
               file=sys.stderr)
         return 1
     return 0
+
+
+def convert_parallel(raw, output):
+    series = {}  # (function, algorithm) -> {threads: run}
+    for run in raw.get("runs", []):
+        key = (run["function"], run["algorithm"])
+        series.setdefault(key, {})[run["threads"]] = run
+
+    out_series = []
+    errors = []
+    for (function, algorithm), by_threads in sorted(series.items()):
+        base = by_threads.get(1)
+        if base is None or not base.get("build_seconds"):
+            errors.append(f"F{function}/{algorithm}: no threads=1 baseline")
+            continue
+        points = []
+        for threads in sorted(by_threads):
+            run = by_threads[threads]
+            build = run["build_seconds"]
+            wait = run.get("wait_seconds", 0.0)
+            points.append({
+                "threads": threads,
+                "build_seconds": round(build, 6),
+                "speedup": round(base["build_seconds"] / build, 3)
+                if build else None,
+                "wait_share": round(wait / (threads * build), 4)
+                if build else None,
+                "e_seconds": round(run.get("e_seconds", 0.0), 6),
+                "w_seconds": round(run.get("w_seconds", 0.0), 6),
+                "s_seconds": round(run.get("s_seconds", 0.0), 6),
+                "barrier_waits": run.get("barrier_waits"),
+                "condvar_waits": run.get("condvar_waits"),
+            })
+        out_series.append({
+            "function": function,
+            "algorithm": algorithm,
+            "records_scanned": base.get("records_scanned"),
+            "records_split": base.get("records_split"),
+            "points": points,
+        })
+
+    out = {
+        "schema_version": 1,
+        "suite": "parallel_builders",
+        "context": raw.get("context", {}),
+        "series": out_series,
+    }
+    with open(output, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {output} ({len(out_series)} series)")
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not out_series:
+        print("error: no runs in input", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input", help="bench JSON file ('-' = stdin)")
+    ap.add_argument("-o", "--output", default=None,
+                    help="output path (default BENCH_core.json or "
+                         "BENCH_parallel.json by detected suite)")
+    args = ap.parse_args()
+
+    if args.input == "-":
+        raw = json.load(sys.stdin)
+    else:
+        with open(args.input) as f:
+            raw = json.load(f)
+
+    if raw.get("suite") == "parallel_builders":
+        return convert_parallel(raw, args.output or "BENCH_parallel.json")
+    return convert_kernels(raw, args.output or "BENCH_core.json")
 
 
 if __name__ == "__main__":

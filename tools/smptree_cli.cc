@@ -62,6 +62,7 @@ int Usage() {
                "         [--subroutine basic|mwk] [--prune none|pessimistic|cost]\n"
                "         [--env mem|disk] [--min-split N] [--max-levels N]\n"
                "         [--criterion gini|entropy]\n"
+               "         [--trace-out F.json] [--stats-out F.json]\n"
                "  eval:  --schema F --model F --data F\n"
                "  show:  --schema F --model F [--format text|sql|dot]\n"
                "  predict: --schema F --model F --data F [--out F]\n");
@@ -229,6 +230,15 @@ int RunTrain(const Flags& flags) {
     return Fail("--prune must be none, pessimistic or cost");
   }
 
+  // Optional observability outputs: a Chrome trace of the build and/or the
+  // BuildStats JSON summary (docs/OBSERVABILITY.md).
+  const std::string trace_out = GetFlag(flags, "trace-out");
+  const std::string stats_out = GetFlag(flags, "stats-out");
+  TraceRecorder recorder;
+  if (!trace_out.empty() || !stats_out.empty()) {
+    options.build.trace = &recorder;
+  }
+
   auto result = TrainClassifier(*data, options);
   if (!result.ok()) return Fail(result.status().ToString());
   Status s = WriteFile(model_path, SerializeTree(*result->tree));
@@ -247,6 +257,27 @@ int RunTrain(const Flags& flags) {
       result->tree->Stats().levels,
       static_cast<long long>(stats.nodes_pruned),
       TreeAccuracy(*result->tree, *data), model_path.c_str());
+  if (options.build.num_threads > 1 || !trace_out.empty() ||
+      !stats_out.empty()) {
+    std::printf(
+        "phases (compute, summed over %d threads): E %.3fs, W %.3fs, "
+        "S %.3fs; blocked %.3fs (wait share %.1f%%)\n",
+        options.build.num_threads, stats.e_phase_seconds,
+        stats.w_phase_seconds, stats.s_phase_seconds, stats.wait_seconds,
+        100.0 * stats.build_stats.WaitShare());
+  }
+  if (!trace_out.empty()) {
+    s = WriteFile(trace_out, recorder.ToChromeJson());
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("trace written to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  if (!stats_out.empty()) {
+    s = WriteFile(stats_out, stats.build_stats.ToJson() + "\n");
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("build stats written to %s\n", stats_out.c_str());
+  }
   return 0;
 }
 

@@ -3,6 +3,7 @@
 //   smptree_serve --schema schema.txt --model model.tree
 //                 [--port 8080] [--address 127.0.0.1] [--workers 0]
 //                 [--http-threads 4] [--queue 128] [--no-reload]
+//                 [--build-stats stats.json]
 //
 // Endpoints (see docs/SERVING.md): POST /v1/predict, POST /v1/reload,
 // GET /healthz, GET /statz. Prints "listening on <port>" once ready (port 0
@@ -15,9 +16,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "serve/json.h"
 #include "serve/service.h"
 #include "util/string_util.h"
 
@@ -43,7 +47,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: smptree_serve --schema F --model F [--port N]\n"
                "         [--address A] [--workers N] [--http-threads N]\n"
-               "         [--queue N] [--no-reload]\n");
+               "         [--queue N] [--no-reload] [--build-stats F.json]\n");
   return 1;
 }
 
@@ -96,6 +100,23 @@ int Main(int argc, char** argv) {
   options.http.port = static_cast<uint16_t>(port);
   options.http.num_threads = static_cast<int>(http_threads);
   options.allow_reload = get("no-reload").empty();
+
+  // Training-run BuildStats to embed in /statz ("build" section). Validate
+  // up front: a malformed file would corrupt every /statz response body.
+  const std::string build_stats_path = get("build-stats");
+  if (!build_stats_path.empty()) {
+    std::ifstream in(build_stats_path);
+    if (!in) return Fail("cannot open " + build_stats_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw(TrimWhitespace(buffer.str()));
+    auto parsed = ParseJson(raw);
+    if (!parsed.ok()) {
+      return Fail("--build-stats " + build_stats_path + ": " +
+                  parsed.status().ToString());
+    }
+    options.build_stats_json = raw;
+  }
 
   InferenceService service(std::move(*store), options);
   const Status started = service.Start();
