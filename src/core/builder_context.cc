@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <limits>
 #include <span>
+#include <vector>
 
+#include "util/random.h"
 #include "util/string_util.h"
 
 namespace smptree {
@@ -28,8 +30,41 @@ const char* AlgorithmName(Algorithm algorithm) {
   return "?";
 }
 
+bool FeatureSampling::Allows(NodeId node, int attr, int num_attrs) const {
+  if (!active(num_attrs)) return true;
+  // Partial Fisher-Yates over the attribute indices, seeded per node:
+  // the first features_per_node positions after k swap steps are the
+  // node's sampled subset. O(num_attrs) per query, trivial next to the
+  // record scan the E phase performs when the attribute is kept.
+  Random rng(seed ^ (0x9E3779B97F4A7C15ull +
+                     static_cast<uint64_t>(node) * 0xBF58476D1CE4E5B9ull));
+  // Attribute counts are bounded by the schema (small); a stack-friendly
+  // vector keeps this allocation-free in practice via SSO-sized sizes.
+  std::vector<int> idx(static_cast<size_t>(num_attrs));
+  for (int i = 0; i < num_attrs; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < features_per_node; ++i) {
+    const int j = i + static_cast<int>(rng.Uniform(
+                          static_cast<uint64_t>(num_attrs - i)));
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+    if (idx[static_cast<size_t>(i)] == attr) return true;
+  }
+  return false;
+}
+
 Status BuildOptions::Validate() const {
   if (num_threads < 1) return Status::InvalidArgument("num_threads < 1");
+  if (feature_sampling.features_per_node < 0) {
+    return Status::InvalidArgument("features_per_node < 0");
+  }
+  if (feature_sampling.features_per_node > 0 &&
+      algorithm == Algorithm::kRecordParallel) {
+    // The record-parallel ablation evaluates attributes through its own
+    // replicated-statistics path, not the EvaluateLeafAttr gate; rejecting
+    // beats silently ignoring the option.
+    return Status::InvalidArgument(
+        "feature subsampling is not supported by the record-parallel "
+        "ablation");
+  }
   if (window < 1) return Status::InvalidArgument("window < 1");
   if (min_split < 1) return Status::InvalidArgument("min_split < 1");
   if (max_levels < 0) return Status::InvalidArgument("max_levels < 0");
@@ -150,6 +185,14 @@ Status BuildContext::EvaluateLeafAttr(LeafTask* leaf, int attr,
                                       GiniScratch* scratch,
                                       LevelStorage* storage) {
   PhaseTimer phase(counters_, BuildPhase::kEvaluate);
+  if (!options_.feature_sampling.Allows(leaf->node, attr,
+                                        data_->num_attrs())) {
+    // Attribute not in this node's sampled subset: no candidate. RunW
+    // already treats an invalid candidate as "this attribute offers no
+    // split", so every builder inherits subsampling through this one gate.
+    leaf->candidates[attr] = SplitCandidate();
+    return Status::OK();
+  }
   SegmentBuffer buf;
   SMPTREE_RETURN_IF_ERROR(storage->ReadSegment(attr, leaf->seg, &buf));
   leaf->candidates[attr] = EvaluateAttr(data_->schema(), attr, buf.records(),

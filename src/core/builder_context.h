@@ -61,6 +61,26 @@ struct LevelTraceEntry {
   int64_t records = 0;
 };
 
+/// Per-node feature subsampling (the random-forest ingredient): when
+/// active, each tree node evaluates splits over a deterministic
+/// pseudo-random subset of `features_per_node` attributes instead of all of
+/// them. The subset is a pure function of (seed, node id), so a build is
+/// reproducible given its seed and a deterministic node numbering (serial
+/// builds always; parallel builders number nodes in scheduling order, so
+/// across thread counts only the *distribution* is preserved).
+struct FeatureSampling {
+  /// Attributes evaluated per node; 0 (or >= num_attrs) evaluates all.
+  int features_per_node = 0;
+  uint64_t seed = 0;
+
+  bool active(int num_attrs) const {
+    return features_per_node > 0 && features_per_node < num_attrs;
+  }
+
+  /// True when `attr` is in the node's sampled attribute subset.
+  bool Allows(NodeId node, int attr, int num_attrs) const;
+};
+
 /// Everything configurable about a build.
 struct BuildOptions {
   Algorithm algorithm = Algorithm::kSerial;
@@ -79,6 +99,9 @@ struct BuildOptions {
   /// Turn off the Figure 5 child relabelling (ablation only; leaves the
   /// "holes" of the simple assignment scheme in the slot schedule).
   bool relabel_children = true;
+  /// Per-node feature subsampling (inactive by default; the ensemble
+  /// builder switches it on for forest members).
+  FeatureSampling feature_sampling;
   GiniOptions gini;
   /// Storage environment; nullptr selects the in-memory Env (Machine B).
   /// Pass Env::Posix() for the paper's local-disk configuration (Machine A).

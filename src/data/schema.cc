@@ -56,4 +56,19 @@ Status Schema::Validate() const {
   return Status::OK();
 }
 
+bool SchemasCompatible(const Schema& a, const Schema& b) {
+  if (a.num_attrs() != b.num_attrs()) return false;
+  if (a.num_classes() != b.num_classes()) return false;
+  for (int i = 0; i < a.num_attrs(); ++i) {
+    const AttrInfo& x = a.attr(i);
+    const AttrInfo& y = b.attr(i);
+    if (x.name != y.name || x.type != y.type) return false;
+    if (x.is_categorical() && x.cardinality != y.cardinality) return false;
+  }
+  for (int c = 0; c < a.num_classes(); ++c) {
+    if (a.class_names()[c] != b.class_names()[c]) return false;
+  }
+  return true;
+}
+
 }  // namespace smptree

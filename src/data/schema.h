@@ -64,6 +64,13 @@ class Schema {
   std::vector<std::string> class_names_;
 };
 
+/// True when `a` and `b` agree on everything Classify depends on:
+/// attribute count, per-attribute type and cardinality, and the class
+/// alphabet. Attribute and class *names* must match too -- serving clients
+/// send categorical values by name. (Shared by the model store's reload
+/// compatibility check and the forest's member check.)
+bool SchemasCompatible(const Schema& a, const Schema& b);
+
 }  // namespace smptree
 
 #endif  // SMPTREE_DATA_SCHEMA_H_

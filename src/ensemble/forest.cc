@@ -1,0 +1,122 @@
+#include "ensemble/forest.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+Forest::Forest(Schema schema) : schema_(std::move(schema)) {}
+
+Status Forest::AddTree(DecisionTree tree) {
+  if (!SchemasCompatible(schema_, tree.schema())) {
+    return Status::InvalidArgument(
+        "member tree schema is incompatible with the forest schema");
+  }
+  trees_.push_back(std::move(tree));
+  return Status::OK();
+}
+
+int64_t Forest::total_nodes() const {
+  int64_t n = 0;
+  for (const DecisionTree& t : trees_) n += t.num_nodes();
+  return n;
+}
+
+ClassLabel Forest::Classify(const TupleValues& values) const {
+  std::vector<int64_t> votes;
+  return Vote(values, &votes);
+}
+
+ClassLabel Forest::Classify(const Dataset& data, int64_t tuple) const {
+  return Classify(data.Tuple(tuple));
+}
+
+ClassLabel Forest::Vote(const TupleValues& values,
+                        std::vector<int64_t>* votes) const {
+  votes->assign(static_cast<size_t>(schema_.num_classes()), 0);
+  for (const DecisionTree& t : trees_) {
+    ++(*votes)[static_cast<size_t>(t.Classify(values))];
+  }
+  ClassLabel best = 0;
+  for (size_t c = 1; c < votes->size(); ++c) {
+    if ((*votes)[c] > (*votes)[static_cast<size_t>(best)]) {
+      best = static_cast<ClassLabel>(c);
+    }
+  }
+  return best;
+}
+
+ClassLabel Forest::Probabilities(const TupleValues& values,
+                                 std::vector<double>* probs) const {
+  std::vector<int64_t> votes;
+  const ClassLabel label = Vote(values, &votes);
+  probs->resize(votes.size());
+  const double n = trees_.empty() ? 1.0 : static_cast<double>(trees_.size());
+  for (size_t c = 0; c < votes.size(); ++c) {
+    (*probs)[c] = static_cast<double>(votes[c]) / n;
+  }
+  return label;
+}
+
+ForestStats Forest::Stats() const {
+  ForestStats stats;
+  stats.num_trees = num_trees();
+  double levels_sum = 0;
+  for (const DecisionTree& t : trees_) {
+    const TreeStats ts = t.Stats();
+    stats.total_nodes += ts.num_nodes;
+    stats.total_leaves += ts.num_leaves;
+    stats.max_levels = std::max(stats.max_levels, ts.levels);
+    levels_sum += static_cast<double>(ts.levels);
+  }
+  if (stats.num_trees > 0) {
+    stats.mean_levels = levels_sum / static_cast<double>(stats.num_trees);
+  }
+  return stats;
+}
+
+Status Forest::Validate() const {
+  if (trees_.empty()) return Status::InvalidArgument("forest has no trees");
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    if (!SchemasCompatible(schema_, trees_[i].schema())) {
+      return Status::Corruption(
+          StringPrintf("member %zu: schema mismatch", i));
+    }
+    const Status s = trees_[i].Validate();
+    if (!s.ok()) {
+      return Status::Corruption(
+          StringPrintf("member %zu: %s", i, s.ToString().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Forest::ToString() const {
+  std::string out = StringPrintf("forest: %d trees, %lld nodes\n",
+                                 num_trees(),
+                                 static_cast<long long>(total_nodes()));
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    const TreeStats ts = trees_[i].Stats();
+    out += StringPrintf("  tree %zu: %lld nodes, %lld leaves, %d levels\n", i,
+                        static_cast<long long>(ts.num_nodes),
+                        static_cast<long long>(ts.num_leaves), ts.levels);
+  }
+  return out;
+}
+
+ConfusionMatrix EvaluateForest(const Forest& forest, const Dataset& data) {
+  ConfusionMatrix cm(data.num_classes());
+  TupleValues row;
+  for (int64_t t = 0; t < data.num_tuples(); ++t) {
+    row = data.Tuple(t);
+    cm.Add(data.label(t), forest.Classify(row));
+  }
+  return cm;
+}
+
+double ForestAccuracy(const Forest& forest, const Dataset& data) {
+  return EvaluateForest(forest, data).accuracy();
+}
+
+}  // namespace smptree

@@ -1,0 +1,104 @@
+// Forest: a bagged ensemble of DecisionTrees over one schema, with
+// majority-vote classification and vote-share class probabilities. The
+// paper's four SMP schemes parallelize *inside* one SPRINT tree; the forest
+// is the outer workload they feed -- see forest_builder.h for the two-level
+// (trees x builder-threads) training scheduler.
+//
+// Concurrent reads: a Forest is immutable once built (AddTree is a
+// build-time-only entry point) and every reader -- Classify, Vote,
+// Probabilities, tree(), Stats(), Validate() -- only touches the members'
+// const reader surface, so a published forest inherits the DecisionTree
+// concurrent-reads contract (core/tree.h): any number of threads may score
+// against it with no synchronization.
+
+#ifndef SMPTREE_ENSEMBLE_FOREST_H_
+#define SMPTREE_ENSEMBLE_FOREST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/tree.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace smptree {
+
+/// Shape summary of a forest (per-member TreeStats folded together).
+struct ForestStats {
+  int num_trees = 0;
+  int64_t total_nodes = 0;
+  int64_t total_leaves = 0;
+  int max_levels = 0;        ///< deepest member
+  double mean_levels = 0.0;  ///< mean member depth
+};
+
+/// A bagged ensemble of decision trees. Movable, not copyable (members are
+/// arena-owning DecisionTrees).
+class Forest {
+ public:
+  explicit Forest(Schema schema);
+
+  Forest(Forest&&) noexcept = default;
+  Forest& operator=(Forest&&) noexcept = default;
+  Forest(const Forest&) = delete;
+  Forest& operator=(const Forest&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  const DecisionTree& tree(int i) const {
+    return trees_[static_cast<size_t>(i)];
+  }
+
+  /// Appends a member. Build-time only (never concurrently with readers);
+  /// fails unless the tree's schema scores identically to the forest's.
+  Status AddTree(DecisionTree tree);
+
+  /// Total nodes across all members.
+  int64_t total_nodes() const;
+
+  /// Majority-vote classification of one tuple (ties keep the lowest
+  /// label, matching ClassHistogram::Majority). Concurrent-reader safe.
+  ClassLabel Classify(const TupleValues& values) const;
+
+  /// Classifies tuple `t` of `data` (columns must match the schema).
+  ClassLabel Classify(const Dataset& data, int64_t tuple) const;
+
+  /// Classify + per-class vote counts. `votes` is resized to num_classes
+  /// and filled with how many members voted for each class; the returned
+  /// label is the vote majority (lowest label on ties).
+  ClassLabel Vote(const TupleValues& values,
+                  std::vector<int64_t>* votes) const;
+
+  /// Vote shares as probabilities: votes[c] / num_trees(). `probs` is
+  /// resized to num_classes.
+  ClassLabel Probabilities(const TupleValues& values,
+                           std::vector<double>* probs) const;
+
+  ForestStats Stats() const;
+
+  /// Structural check: at least one member, every member passes
+  /// DecisionTree::Validate, and every member's schema scores identically
+  /// to the forest's (forest_io runs this per member on load).
+  Status Validate() const;
+
+  /// One line per member: index, node count, levels.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<DecisionTree> trees_;
+};
+
+/// Classifies every tuple of `data` with the forest's majority vote and
+/// tallies the confusion matrix (the ensemble counterpart of EvaluateTree).
+ConfusionMatrix EvaluateForest(const Forest& forest, const Dataset& data);
+
+/// Convenience: EvaluateForest(...).accuracy().
+double ForestAccuracy(const Forest& forest, const Dataset& data);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_ENSEMBLE_FOREST_H_

@@ -1,0 +1,44 @@
+// Text serialization of forests: a versioned container over tree_io
+// records. The container adds nothing per node -- each member section is
+// byte-for-byte the output of SerializeTree -- so a forest file is greppable
+// with the same eyes as a tree file and the member parser is tree_io's.
+//
+// Format:
+//   forest v1 trees=<T>
+//   <member 0: tree v1 header + node lines>
+//   ...
+//   <member T-1>
+//   end forest
+// The trailing `end forest` line is the truncation sentinel: a file cut off
+// mid-member fails the member's own node-count check, and one cut off
+// between members fails the trailer check. Every member must pass
+// DecisionTree::Validate and be schema-compatible with its siblings.
+
+#ifndef SMPTREE_ENSEMBLE_FOREST_IO_H_
+#define SMPTREE_ENSEMBLE_FOREST_IO_H_
+
+#include <string>
+
+#include "ensemble/forest.h"
+#include "util/status.h"
+
+namespace smptree {
+
+/// Serializes `forest` to the container format above. The forest must have
+/// at least one member (Validate() is the caller's contract; Serialize does
+/// not re-run it).
+std::string SerializeForest(const Forest& forest);
+
+/// Parses a forest serialized by SerializeForest. Each member is parsed with
+/// DeserializeTree against `schema`, validated with DecisionTree::Validate,
+/// and checked schema-compatible; the count in the header must match the
+/// members present and the `end forest` trailer must be intact.
+Result<Forest> DeserializeForest(const Schema& schema,
+                                 const std::string& text);
+
+/// Structural equality: same member count, every member TreesEqual.
+bool ForestsEqual(const Forest& a, const Forest& b);
+
+}  // namespace smptree
+
+#endif  // SMPTREE_ENSEMBLE_FOREST_IO_H_

@@ -74,10 +74,26 @@ void PredictionEngine::WorkerLoop(int worker_index) {
 
     const int64_t n = request->batch.num_tuples();
     request->outcome.labels.resize(static_cast<size_t>(n));
-    for (int64_t t = 0; t < n; ++t) {
-      request->batch.GatherTuple(t, &arena.row);
-      request->outcome.labels[static_cast<size_t>(t)] =
-          model->tree.Classify(arena.row);
+    if (model->kind == ModelKind::kForest) {
+      // Forests also report vote shares; the whole batch scores against the
+      // one snapshot taken above, so no reload can tear labels from probs.
+      const int k = model->schema().num_classes();
+      request->outcome.num_classes = k;
+      request->outcome.probs.resize(static_cast<size_t>(n * k));
+      for (int64_t t = 0; t < n; ++t) {
+        request->batch.GatherTuple(t, &arena.row);
+        request->outcome.labels[static_cast<size_t>(t)] =
+            model->Probabilities(arena.row, &arena.probs);
+        std::copy(arena.probs.begin(), arena.probs.end(),
+                  request->outcome.probs.begin() +
+                      static_cast<std::ptrdiff_t>(t * k));
+      }
+    } else {
+      for (int64_t t = 0; t < n; ++t) {
+        request->batch.GatherTuple(t, &arena.row);
+        request->outcome.labels[static_cast<size_t>(t)] =
+            model->tree.Classify(arena.row);
+      }
     }
     request->outcome.model_epoch = model->epoch;
 

@@ -44,9 +44,15 @@ struct EngineOptions {
 
 /// The scored batch: one label per input tuple, plus the epoch of the model
 /// that produced them (so callers can tell which model answered across a
-/// reload).
+/// reload). Forest models additionally report per-class vote shares:
+/// `probs` holds num_tuples() x num_classes doubles, row-major
+/// (probs[t * num_classes + c]); it is empty for single-tree models.
+/// Every field comes from ONE model snapshot -- a reload mid-batch can
+/// never mix one model's labels with another's probabilities.
 struct PredictOutcome {
   std::vector<ClassLabel> labels;
+  std::vector<double> probs;
+  int num_classes = 0;  ///< probs row width; 0 when probs is empty
   int64_t model_epoch = 0;
 };
 
@@ -106,6 +112,7 @@ class PredictionEngine {
   /// the worker's private slice of the stats.
   struct WorkerArena {
     TupleValues row;               ///< row-gather scratch
+    std::vector<double> probs;     ///< per-row vote-share scratch (forests)
     LatencyHistogram latency;      ///< per-batch service latency
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> tuples{0};

@@ -6,22 +6,44 @@
 
 #include "core/tree_io.h"
 #include "data/schema_io.h"
+#include "ensemble/forest_io.h"
 
 namespace smptree {
 
-bool SchemasCompatible(const Schema& a, const Schema& b) {
-  if (a.num_attrs() != b.num_attrs()) return false;
-  if (a.num_classes() != b.num_classes()) return false;
-  for (int i = 0; i < a.num_attrs(); ++i) {
-    const AttrInfo& x = a.attr(i);
-    const AttrInfo& y = b.attr(i);
-    if (x.name != y.name || x.type != y.type) return false;
-    if (x.is_categorical() && x.cardinality != y.cardinality) return false;
+namespace {
+
+/// Reads a whole model file (both kinds share this).
+Result<std::string> ReadFileText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open model file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool LooksLikeForest(const std::string& text) {
+  return text.rfind("forest ", 0) == 0;
+}
+
+}  // namespace
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kTree:
+      return "tree";
+    case ModelKind::kForest:
+      return "forest";
   }
-  for (int c = 0; c < a.num_classes(); ++c) {
-    if (a.class_names()[c] != b.class_names()[c]) return false;
-  }
-  return true;
+  return "unknown";
+}
+
+ClassLabel ServingModel::Probabilities(const TupleValues& values,
+                                       std::vector<double>* probs) const {
+  if (kind == ModelKind::kForest) return forest->Probabilities(values, probs);
+  const ClassLabel label = tree.Classify(values);
+  probs->assign(static_cast<size_t>(schema().num_classes()), 0.0);
+  (*probs)[static_cast<size_t>(label)] = 1.0;
+  return label;
 }
 
 ModelStore::ModelStore(ServingModelPtr initial) : schema_(initial->schema()) {
@@ -36,38 +58,61 @@ Result<std::unique_ptr<ModelStore>> ModelStore::Create(DecisionTree tree) {
   return std::unique_ptr<ModelStore>(new ModelStore(std::move(model)));
 }
 
+Result<std::unique_ptr<ModelStore>> ModelStore::Create(Forest forest) {
+  SMPTREE_RETURN_IF_ERROR(forest.Validate());
+  auto model = std::make_shared<ServingModel>(std::move(forest));
+  model->epoch = 1;
+  return std::unique_ptr<ModelStore>(new ModelStore(std::move(model)));
+}
+
 Result<DecisionTree> ModelStore::LoadTreeFile(const Schema& schema,
                                               const std::string& model_path) {
-  std::ifstream in(model_path);
-  if (!in) return Status::IOError("cannot open model file " + model_path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree,
-                           DeserializeTree(schema, buffer.str()));
+  SMPTREE_ASSIGN_OR_RETURN(std::string text, ReadFileText(model_path));
+  SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree, DeserializeTree(schema, text));
   SMPTREE_RETURN_IF_ERROR(tree.Validate());
   return tree;
+}
+
+Result<Forest> ModelStore::LoadForestFile(const Schema& schema,
+                                          const std::string& model_path) {
+  SMPTREE_ASSIGN_OR_RETURN(std::string text, ReadFileText(model_path));
+  // DeserializeForest validates every member and the assembled forest.
+  return DeserializeForest(schema, text);
+}
+
+Result<bool> ModelStore::IsForestFile(const std::string& model_path) {
+  std::ifstream in(model_path);
+  if (!in) return Status::IOError("cannot open model file " + model_path);
+  std::string first_line;
+  std::getline(in, first_line);
+  return LooksLikeForest(first_line);
 }
 
 Result<std::unique_ptr<ModelStore>> ModelStore::Open(
     const std::string& schema_path, const std::string& model_path) {
   SMPTREE_ASSIGN_OR_RETURN(Schema schema, ReadSchemaFile(schema_path));
-  SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree,
-                           LoadTreeFile(schema, model_path));
-  auto model = std::make_shared<ServingModel>(std::move(tree));
+  SMPTREE_ASSIGN_OR_RETURN(std::string text, ReadFileText(model_path));
+  std::shared_ptr<ServingModel> model;
+  if (LooksLikeForest(text)) {
+    SMPTREE_ASSIGN_OR_RETURN(Forest forest, DeserializeForest(schema, text));
+    model = std::make_shared<ServingModel>(std::move(forest));
+  } else {
+    SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree,
+                             DeserializeTree(schema, text));
+    SMPTREE_RETURN_IF_ERROR(tree.Validate());
+    model = std::make_shared<ServingModel>(std::move(tree));
+  }
   model->epoch = 1;
   model->source = model_path;
   return std::unique_ptr<ModelStore>(new ModelStore(std::move(model)));
 }
 
-Status ModelStore::Install(DecisionTree tree, const std::string& source) {
-  SMPTREE_RETURN_IF_ERROR(tree.Validate());
-  if (!SchemasCompatible(schema_, tree.schema())) {
+Status ModelStore::InstallModel(std::shared_ptr<ServingModel> model) {
+  if (!SchemasCompatible(schema_, model->schema())) {
     return Status::InvalidArgument(
-        "model schema is incompatible with the serving schema (" + source +
-        ")");
+        "model schema is incompatible with the serving schema (" +
+        model->source + ")");
   }
-  auto model = std::make_shared<ServingModel>(std::move(tree));
-  model->source = source;
   ServingModelPtr retired;
   {
     MutexLock lock(mu_);
@@ -76,15 +121,34 @@ Status ModelStore::Install(DecisionTree tree, const std::string& source) {
     current_ = std::move(model);
   }
   // `retired` holds the outgoing model; if this was its last reference
-  // (no batch in flight), the old tree is destroyed here, outside the lock.
+  // (no batch in flight), the old model is destroyed here, outside the lock.
   return Status::OK();
+}
+
+Status ModelStore::Install(DecisionTree tree, const std::string& source) {
+  SMPTREE_RETURN_IF_ERROR(tree.Validate());
+  auto model = std::make_shared<ServingModel>(std::move(tree));
+  model->source = source;
+  return InstallModel(std::move(model));
+}
+
+Status ModelStore::InstallForest(Forest forest, const std::string& source) {
+  SMPTREE_RETURN_IF_ERROR(forest.Validate());
+  auto model = std::make_shared<ServingModel>(std::move(forest));
+  model->source = source;
+  return InstallModel(std::move(model));
 }
 
 Status ModelStore::Reload(const std::string& model_path) {
   // Parse and validate outside the install lock; only the epoch assignment
-  // and pointer swap serialize.
-  SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree,
-                           LoadTreeFile(schema_, model_path));
+  // and pointer swap serialize. A corrupt or truncated file fails here and
+  // the installed model -- tree or forest -- stays.
+  SMPTREE_ASSIGN_OR_RETURN(std::string text, ReadFileText(model_path));
+  if (LooksLikeForest(text)) {
+    SMPTREE_ASSIGN_OR_RETURN(Forest forest, DeserializeForest(schema_, text));
+    return InstallForest(std::move(forest), model_path);
+  }
+  SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree, DeserializeTree(schema_, text));
   return Install(std::move(tree), model_path);
 }
 

@@ -1,7 +1,10 @@
-// ModelStore: owns the tree a long-lived serving process scores against.
+// ModelStore: owns the model a long-lived serving process scores against --
+// a single decision tree or a bagged forest (ensemble/forest.h); the file's
+// own header line says which, so reload can swap one kind for the other.
 //
 // Models load from the text formats the training side already writes
-// (schema_io + tree_io), are structurally validated (DecisionTree::Validate)
+// (schema_io + tree_io + forest_io), are structurally validated
+// (DecisionTree::Validate / Forest::Validate per member)
 // before they become visible, and hot-reload with swap-on-load semantics:
 // Reload() installs the new model atomically and returns without waiting
 // for readers. Retirement is epoch-based: every model carries a
@@ -20,34 +23,74 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/tree.h"
+#include "ensemble/forest.h"
 #include "util/mutex.h"
 #include "util/status.h"
 
 namespace smptree {
 
+/// What a ServingModel holds.
+enum class ModelKind {
+  kTree,
+  kForest,
+};
+
+/// "tree" / "forest" (the /statz "model_kind" field).
+const char* ModelKindName(ModelKind kind);
+
 /// One immutable, epoch-stamped model. The schema is stored by value so a
 /// ServingModel snapshot is self-contained (the tree's own schema copy and
 /// this one are identical).
+///
+/// Kind dispatch: for kTree the model is `tree`; for kForest it is
+/// `forest` and `tree` is an empty (0-node) schema carrier -- score through
+/// Classify()/Probabilities(), which dispatch on kind, instead of touching
+/// the members directly.
 struct ServingModel {
+  ModelKind kind = ModelKind::kTree;
   DecisionTree tree;
+  std::optional<Forest> forest;  ///< engaged iff kind == kForest
   int64_t epoch = 0;
   std::string source;  ///< file path the model was loaded from ("" = in-proc)
 
   explicit ServingModel(DecisionTree t) : tree(std::move(t)) {}
+  explicit ServingModel(Forest f)
+      : kind(ModelKind::kForest),
+        tree(f.schema()),
+        forest(std::move(f)) {}
 
   const Schema& schema() const { return tree.schema(); }
+  const char* kind_name() const { return ModelKindName(kind); }
+
+  /// Members voting per prediction: forests their size, trees 1.
+  int num_trees() const {
+    return kind == ModelKind::kForest ? forest->num_trees() : 1;
+  }
+
+  /// Decision nodes across the whole model.
+  int64_t total_nodes() const {
+    return kind == ModelKind::kForest ? forest->total_nodes()
+                                      : tree.num_nodes();
+  }
+
+  /// Scores one tuple (forest: majority vote). Concurrent-reader safe.
+  ClassLabel Classify(const TupleValues& values) const {
+    return kind == ModelKind::kForest ? forest->Classify(values)
+                                      : tree.Classify(values);
+  }
+
+  /// Scores one tuple and fills per-class probabilities: vote shares for a
+  /// forest, a one-hot vector for a single tree.
+  ClassLabel Probabilities(const TupleValues& values,
+                           std::vector<double>* probs) const;
 };
 
 using ServingModelPtr = std::shared_ptr<const ServingModel>;
-
-/// True when `a` and `b` agree on everything Classify depends on:
-/// attribute count, per-attribute type and cardinality, and the class
-/// alphabet. Attribute and class *names* must match too -- clients send
-/// categorical values by name.
-bool SchemasCompatible(const Schema& a, const Schema& b);
 
 class ModelStore {
  public:
@@ -55,19 +98,34 @@ class ModelStore {
   /// and in-process embedding).
   static Result<std::unique_ptr<ModelStore>> Create(DecisionTree tree);
 
-  /// Creates the store from files: schema + serialized tree (the CLI's
-  /// train output). The deserialized tree must pass Validate().
+  /// Creates the store with an already-built forest at epoch 1.
+  static Result<std::unique_ptr<ModelStore>> Create(Forest forest);
+
+  /// Creates the store from files: schema + serialized model (the CLI's
+  /// train / train-forest output). The model file's header line decides the
+  /// kind ("forest v1 ..." vs "tree v1 ..."); either way the model must
+  /// pass its structural Validate().
   static Result<std::unique_ptr<ModelStore>> Open(
       const std::string& schema_path, const std::string& model_path);
 
   /// Loads a serialized tree against an externally supplied schema --
-  /// the shared load path for Open(), Reload() and the CLI `predict`
-  /// subcommand (validation included, no store required).
+  /// the shared load path for tree models (validation included, no store
+  /// required; also used by the CLI `predict` subcommand).
   static Result<DecisionTree> LoadTreeFile(const Schema& schema,
                                            const std::string& model_path);
 
+  /// Forest counterpart of LoadTreeFile (forest_io parse + per-member
+  /// validation).
+  static Result<Forest> LoadForestFile(const Schema& schema,
+                                       const std::string& model_path);
+
+  /// True when the file at `model_path` starts with the forest container
+  /// header (the kind sniff Open/Reload/predict share).
+  static Result<bool> IsForestFile(const std::string& model_path);
+
   /// Swap-on-load hot reload: parses `model_path` against the store's
-  /// schema, validates it, then atomically installs it at epoch+1.
+  /// schema, validates it, then atomically installs it at epoch+1. The new
+  /// model may be a tree or a forest regardless of what is installed now.
   /// On any error the current model stays installed and serving continues.
   /// All the expensive work (file IO, parsing, Validate) happens before
   /// the publication lock is touched, so a reload in progress never stalls
@@ -76,6 +134,10 @@ class ModelStore {
 
   /// Installs an already-built tree (test hook for reload semantics).
   Status Install(DecisionTree tree, const std::string& source) EXCLUDES(mu_);
+
+  /// Installs an already-built forest.
+  Status InstallForest(Forest forest, const std::string& source)
+      EXCLUDES(mu_);
 
   /// Current model snapshot. The returned pointer keeps its epoch's tree
   /// alive for as long as the caller holds it; each batch takes exactly one
@@ -98,6 +160,9 @@ class ModelStore {
 
  private:
   explicit ModelStore(ServingModelPtr initial);
+
+  /// Shared install tail: schema check, epoch stamp, pointer swap.
+  Status InstallModel(std::shared_ptr<ServingModel> model) EXCLUDES(mu_);
 
   Schema schema_;  ///< fixed at creation; immutable thereafter
   // One lock for epoch assignment and publication: installs serialize so

@@ -75,11 +75,34 @@ HttpResponse InferenceService::HandlePredict(const HttpRequest& request) {
     codes += StringPrintf("%d", static_cast<int>(outcome->labels[i]));
     labels += JsonQuote(schema.class_name(outcome->labels[i]));
   }
+  // Forest models add per-tuple class-probability rows (vote shares).
+  std::string probs;
+  if (outcome->num_classes > 0 && !outcome->probs.empty()) {
+    const int k = outcome->num_classes;
+    for (size_t i = 0; i < outcome->labels.size(); ++i) {
+      probs += i > 0 ? ",[" : "[";
+      for (int c = 0; c < k; ++c) {
+        if (c > 0) probs += ",";
+        probs += JsonNumber(
+            outcome->probs[i * static_cast<size_t>(k) +
+                           static_cast<size_t>(c)]);
+      }
+      probs += "]";
+    }
+  }
   HttpResponse response;
-  response.body = StringPrintf(
-      "{\"epoch\": %lld, \"codes\": [%s], \"labels\": [%s]}\n",
-      static_cast<long long>(outcome->model_epoch), codes.c_str(),
-      labels.c_str());
+  if (probs.empty()) {
+    response.body = StringPrintf(
+        "{\"epoch\": %lld, \"codes\": [%s], \"labels\": [%s]}\n",
+        static_cast<long long>(outcome->model_epoch), codes.c_str(),
+        labels.c_str());
+  } else {
+    response.body = StringPrintf(
+        "{\"epoch\": %lld, \"codes\": [%s], \"labels\": [%s], "
+        "\"probs\": [%s]}\n",
+        static_cast<long long>(outcome->model_epoch), codes.c_str(),
+        labels.c_str(), probs.c_str());
+  }
   return response;
 }
 
@@ -108,9 +131,11 @@ HttpResponse InferenceService::HandleReload(const HttpRequest& request) {
   const ServingModelPtr current = store_->Current();
   HttpResponse response;
   response.body = StringPrintf(
-      "{\"epoch\": %lld, \"nodes\": %lld, \"source\": %s}\n",
-      static_cast<long long>(current->epoch),
-      static_cast<long long>(current->tree.num_nodes()),
+      "{\"epoch\": %lld, \"kind\": \"%s\", \"trees\": %d, \"nodes\": %lld, "
+      "\"source\": %s}\n",
+      static_cast<long long>(current->epoch), current->kind_name(),
+      current->num_trees(),
+      static_cast<long long>(current->total_nodes()),
       JsonQuote(current->source).c_str());
   return response;
 }
@@ -131,15 +156,17 @@ HttpResponse InferenceService::HandleStatz(const HttpRequest&) {
       uptime > 0 ? static_cast<double>(stats.tuples) / uptime : 0.0;
   HttpResponse response;
   response.body = StringPrintf(
-      "{\"model_epoch\": %lld, \"model_nodes\": %lld, "
+      "{\"model_epoch\": %lld, \"model_kind\": \"%s\", \"model_trees\": %d, "
+      "\"model_nodes\": %lld, "
       "\"model_source\": %s, \"workers\": %d, \"queue_depth\": %zu, "
       "\"batches\": %llu, \"tuples\": %llu, \"rejected\": %llu, "
       "\"predict_errors\": %llu, \"reloads\": %llu, "
       "\"reload_errors\": %llu, \"uptime_seconds\": %s, "
       "\"tuples_per_second\": %s, \"latency\": "
       "{\"mean_ms\": %s, \"p50_ms\": %s, \"p90_ms\": %s, \"p99_ms\": %s}}\n",
-      static_cast<long long>(model->epoch),
-      static_cast<long long>(model->tree.num_nodes()),
+      static_cast<long long>(model->epoch), model->kind_name(),
+      model->num_trees(),
+      static_cast<long long>(model->total_nodes()),
       JsonQuote(model->source).c_str(), stats.workers, stats.queue_depth,
       static_cast<unsigned long long>(stats.batches),
       static_cast<unsigned long long>(stats.tuples),

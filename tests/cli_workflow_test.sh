@@ -64,6 +64,50 @@ if "$CLI" predict --schema "$DIR/schema.txt" --model "$DIR/missing.tree" \
   fail "predict accepted a missing model"
 fi
 
+# --- forest: train-forest -> eval (sniffed) -> predict ---
+"$CLI" train-forest --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --trees 5 --threads 2 --features-per-node 4 --algorithm basic \
+  --model "$DIR/model.forest" > "$DIR/forest_train.out" || fail "train-forest"
+grep -q "trained forest of 5 trees" "$DIR/forest_train.out" \
+  || fail "train-forest banner"
+grep -q "oob accuracy:" "$DIR/forest_train.out" || fail "train-forest oob"
+head -n 1 "$DIR/model.forest" | grep -q "^forest v1 trees=5$" \
+  || fail "forest container header"
+
+# eval sniffs the model kind from the file.
+"$CLI" eval --schema "$DIR/schema.txt" --model "$DIR/model.forest" \
+  --data "$DIR/data.csv" > "$DIR/forest_eval.out" || fail "eval forest"
+grep -q "(forest, 5 trees)" "$DIR/forest_eval.out" || fail "eval forest kind"
+grep -q "accuracy:" "$DIR/forest_eval.out" || fail "eval forest accuracy"
+
+"$CLI" predict --schema "$DIR/schema.txt" --model "$DIR/model.forest" \
+  --data "$DIR/data.csv" --out "$DIR/forest_pred.csv" \
+  || fail "predict forest"
+[ "$(wc -l < "$DIR/forest_pred.csv")" = "2001" ] \
+  || fail "forest predict row count"
+
+# --- --eval on the train commands: held-out accuracy + confusion matrix ---
+"$CLI" gen --function 5 --attrs 10 --tuples 500 --seed 99 \
+  --out "$DIR/test.csv" --schema-out "$DIR/test_schema.txt" || fail "gen test"
+"$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --model "$DIR/eval.tree" --eval "$DIR/test.csv" > "$DIR/train_eval.out" \
+  || fail "train --eval"
+grep -q "accuracy:" "$DIR/train_eval.out" || fail "train --eval accuracy"
+"$CLI" train-forest --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --trees 3 --model "$DIR/eval.forest" --eval "$DIR/test.csv" \
+  > "$DIR/tf_eval.out" || fail "train-forest --eval"
+grep -q "accuracy:" "$DIR/tf_eval.out" || fail "train-forest --eval accuracy"
+
+# --- forest failure modes ---
+if "$CLI" train-forest --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --trees 3 --schedule sideways --model "$DIR/x.forest" 2> /dev/null; then
+  fail "bad schedule accepted"
+fi
+if "$CLI" train-forest --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --trees 3 --algorithm record --model "$DIR/x.forest" 2> /dev/null; then
+  fail "record-parallel inner builder accepted"
+fi
+
 # --- failure modes must exit non-zero with a message ---
 if "$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
   --algorithm warp9 --model "$DIR/x.tree" 2> "$DIR/err.out"; then

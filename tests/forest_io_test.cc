@@ -1,0 +1,133 @@
+// forest_io: exact round-trips through the versioned container, and the
+// rejection matrix -- truncated containers, corrupted members, wrong
+// member counts, bad headers. ModelStore-level rejection (a bad forest
+// must not evict the installed model) lives in serve_forest_test.cc.
+
+#include "ensemble/forest_io.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "data/synthetic.h"
+#include "ensemble/forest_builder.h"
+
+namespace smptree {
+namespace {
+
+Dataset TestData() {
+  SyntheticConfig cfg;
+  cfg.function = 2;
+  cfg.num_tuples = 900;
+  cfg.num_attrs = 9;
+  cfg.seed = 21;
+  auto data = GenerateSynthetic(cfg);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(*data);
+}
+
+ForestTrainResult TrainSmallForest(const Dataset& data, int trees = 3) {
+  ForestOptions options;
+  options.num_trees = trees;
+  options.features_per_node = 4;
+  auto result = TrainForest(data, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+TEST(ForestIoTest, RoundTripsExactly) {
+  const Dataset data = TestData();
+  auto trained = TrainSmallForest(data);
+  const std::string text = SerializeForest(*trained.forest);
+
+  // Container framing: header with the count, trailer line.
+  EXPECT_EQ(text.rfind("forest v1 trees=3\n", 0), 0u);
+  EXPECT_NE(text.find("\nend forest\n"), std::string::npos);
+
+  auto parsed = DeserializeForest(data.schema(), text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ForestsEqual(*trained.forest, *parsed));
+  // Re-serialization is byte-stable.
+  EXPECT_EQ(SerializeForest(*parsed), text);
+  // Parsed members classify identically.
+  for (int64_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(trained.forest->Classify(data, t), parsed->Classify(data, t));
+  }
+}
+
+TEST(ForestIoTest, RejectsBadHeader) {
+  const Dataset data = TestData();
+  EXPECT_TRUE(DeserializeForest(data.schema(), "").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DeserializeForest(data.schema(), "tree v1 classes=2 nodes=1\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DeserializeForest(data.schema(), "forest v1 trees=0\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DeserializeForest(data.schema(), "forest v1 trees=zebra\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ForestIoTest, RejectsTruncation) {
+  const Dataset data = TestData();
+  auto trained = TrainSmallForest(data);
+  const std::string text = SerializeForest(*trained.forest);
+
+  // Cut anywhere: mid-member, between members, before the trailer -- a
+  // truncated container must never parse.
+  const size_t second_member = text.find("tree v1 ", text.find("tree v1 ") + 1);
+  ASSERT_NE(second_member, std::string::npos);
+  EXPECT_TRUE(DeserializeForest(data.schema(),
+                                text.substr(0, second_member))
+                  .status()
+                  .IsCorruption())
+      << "cut between members must fail the trailer/count check";
+  EXPECT_TRUE(DeserializeForest(data.schema(), text.substr(0, text.size() / 2))
+                  .status()
+                  .IsCorruption())
+      << "cut mid-member must fail the member node-count check";
+  // Missing only the trailer line.
+  const std::string no_trailer =
+      text.substr(0, text.size() - std::string("end forest\n").size());
+  EXPECT_TRUE(
+      DeserializeForest(data.schema(), no_trailer).status().IsCorruption());
+}
+
+TEST(ForestIoTest, RejectsCorruptedMember) {
+  const Dataset data = TestData();
+  auto trained = TrainSmallForest(data);
+  std::string text = SerializeForest(*trained.forest);
+
+  // Flip a member's node record type -- the member parser must object.
+  const size_t n_line = text.find("\nN ");
+  ASSERT_NE(n_line, std::string::npos);
+  text[n_line + 1] = 'X';
+  EXPECT_TRUE(
+      DeserializeForest(data.schema(), text).status().IsCorruption());
+}
+
+TEST(ForestIoTest, RejectsWrongMemberCount) {
+  const Dataset data = TestData();
+  auto trained = TrainSmallForest(data);
+  std::string text = SerializeForest(*trained.forest);
+  // Claim 4 members while 3 are present: the container must not parse.
+  const size_t pos = text.find("trees=3");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "trees=4");
+  EXPECT_TRUE(
+      DeserializeForest(data.schema(), text).status().IsCorruption());
+}
+
+TEST(ForestIoTest, ForestsEqualDiscriminates) {
+  const Dataset data = TestData();
+  auto a = TrainSmallForest(data, 3);
+  auto b = TrainSmallForest(data, 3);  // same options + seed: identical
+  EXPECT_TRUE(ForestsEqual(*a.forest, *b.forest));
+  auto c = TrainSmallForest(data, 2);  // different member count
+  EXPECT_FALSE(ForestsEqual(*a.forest, *c.forest));
+}
+
+}  // namespace
+}  // namespace smptree

@@ -69,6 +69,98 @@ TEST(ShuffleDatasetTest, PermutesWithoutLoss) {
   EXPECT_GT(moved, 100);
 }
 
+TEST(StratifiedSplitTest, PreservesClassProportions) {
+  const Dataset data = MakeData(1000);
+  auto split = StratifiedSplitTrainTest(data, 0.25, 11);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_tuples() + split->test.num_tuples(), 1000);
+  const auto total = data.ClassCounts();
+  const auto test_counts = split->test.ClassCounts();
+  for (int c = 0; c < data.num_classes(); ++c) {
+    // Per-class test share is round(0.25 * class_count): exact to rounding,
+    // unlike the Bernoulli SplitTrainTest.
+    const int64_t expect =
+        static_cast<int64_t>(0.25 * static_cast<double>(total[c]) + 0.5);
+    EXPECT_EQ(test_counts[c], expect) << "class " << c;
+  }
+}
+
+TEST(StratifiedSplitTest, DeterministicInSeedAndVariesAcrossSeeds) {
+  const Dataset data = MakeData(400);
+  auto a = StratifiedSplitTrainTest(data, 0.5, 3);
+  auto b = StratifiedSplitTrainTest(data, 0.5, 3);
+  auto c = StratifiedSplitTrainTest(data, 0.5, 4);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_EQ(a->test.num_tuples(), b->test.num_tuples());
+  bool same_as_b = true, same_as_c = a->test.num_tuples() ==
+                                     c->test.num_tuples();
+  for (int64_t t = 0; t < a->test.num_tuples(); ++t) {
+    same_as_b &= a->test.value(t, 0).f == b->test.value(t, 0).f;
+    if (same_as_c && t < c->test.num_tuples()) {
+      same_as_c &= a->test.value(t, 0).f == c->test.value(t, 0).f;
+    }
+  }
+  EXPECT_TRUE(same_as_b);
+  EXPECT_FALSE(same_as_c);
+}
+
+TEST(StratifiedSplitTest, RejectsBadFraction) {
+  const Dataset data = MakeData(10);
+  EXPECT_TRUE(
+      StratifiedSplitTrainTest(data, -0.1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      StratifiedSplitTrainTest(data, 1.5, 1).status().IsInvalidArgument());
+}
+
+TEST(BootstrapSampleTest, SampleSizeMatchesAndOobIsComplement) {
+  const Dataset data = MakeData(500);
+  auto boot = BootstrapSample(data, 17);
+  ASSERT_TRUE(boot.ok());
+  EXPECT_EQ(boot->sample.num_tuples(), 500);
+  ASSERT_EQ(boot->oob.size(), 500u);
+  // The OOB mask is exactly the complement of the drawn multiset: every
+  // drawn source value appears in the sample, every OOB tuple's count of
+  // appearances is zero. Check via value multisets (attr 0 is continuous
+  // with distinct-ish values, so collisions are unlikely but harmless --
+  // we compare draw counts per exact float value).
+  std::multiset<float> drawn;
+  for (int64_t t = 0; t < boot->sample.num_tuples(); ++t) {
+    drawn.insert(boot->sample.value(t, 0).f);
+  }
+  int64_t oob_count = 0;
+  for (int64_t t = 0; t < 500; ++t) {
+    const bool in_sample = drawn.count(data.value(t, 0).f) > 0;
+    if (boot->oob[static_cast<size_t>(t)]) {
+      ++oob_count;
+    } else {
+      EXPECT_TRUE(in_sample) << "in-bag tuple " << t << " missing";
+    }
+  }
+  // E[OOB share] = (1-1/n)^n -> 1/e ~ 0.368.
+  EXPECT_NEAR(static_cast<double>(oob_count) / 500.0, 0.368, 0.08);
+}
+
+TEST(BootstrapSampleTest, DeterministicInSeedAndVariesAcrossSeeds) {
+  const Dataset data = MakeData(300);
+  auto a = BootstrapSample(data, 9);
+  auto b = BootstrapSample(data, 9);
+  auto c = BootstrapSample(data, 10);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->oob, b->oob);
+  EXPECT_NE(a->oob, c->oob);
+  ASSERT_EQ(a->sample.num_tuples(), b->sample.num_tuples());
+  for (int64_t t = 0; t < a->sample.num_tuples(); ++t) {
+    ASSERT_EQ(a->sample.value(t, 0).f, b->sample.value(t, 0).f);
+    ASSERT_EQ(a->sample.label(t), b->sample.label(t));
+  }
+}
+
+TEST(BootstrapSampleTest, RejectsEmptyDataset) {
+  const Dataset data = MakeData(2);
+  Dataset empty(data.schema());
+  EXPECT_TRUE(BootstrapSample(empty, 1).status().IsInvalidArgument());
+}
+
 TEST(TakePrefixTest, TakesAndClamps) {
   const Dataset data = MakeData(20);
   Dataset five = TakePrefix(data, 5);

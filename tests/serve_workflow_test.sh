@@ -79,6 +79,30 @@ grep -q '"reloads": 1' "$DIR/statz.out" || fail "statz reload count"
 grep -q "errors=0 mismatches=0" "$DIR/predict_b.out" \
   || fail "predict B had errors or mismatches"
 
+# --- hot reload to a forest: the store sniffs the model kind ---
+"$CLI" train-forest --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --trees 6 --threads 2 --features-per-node 4 \
+  --model "$DIR/model.forest" > /dev/null || fail "train forest"
+"$LOADGEN" --port "$PORT" --op reload --model "$DIR/model.forest" \
+  > "$DIR/reload_forest.out" || fail "reload forest"
+grep -q '"epoch": 3' "$DIR/reload_forest.out" || fail "forest reload epoch"
+grep -q '"kind": "forest"' "$DIR/reload_forest.out" \
+  || fail "forest reload kind"
+
+"$LOADGEN" --port "$PORT" --op statz > "$DIR/statz_forest.out" \
+  || fail "statz after forest reload"
+grep -q '"model_kind": "forest"' "$DIR/statz_forest.out" \
+  || fail "statz model kind"
+grep -q '"model_trees": 6' "$DIR/statz_forest.out" || fail "statz tree count"
+
+# --- predictions now majority-vote over the forest, verified locally ---
+"$LOADGEN" --port "$PORT" --op predict --schema "$DIR/schema.txt" \
+  --data "$DIR/data.csv" --model "$DIR/model.forest" \
+  --batch 16 --concurrency 4 --requests 40 > "$DIR/predict_f.out" \
+  || fail "predict against forest"
+grep -q "errors=0 mismatches=0" "$DIR/predict_f.out" \
+  || fail "forest predict had errors or mismatches"
+
 # --- a bad reload must not take the server down ---
 if "$LOADGEN" --port "$PORT" --op reload --model "$DIR/nonexistent.tree" \
   > /dev/null 2>&1; then

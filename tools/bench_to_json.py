@@ -13,6 +13,12 @@ Two input formats, detected automatically:
       ./build/bench/speedup_builders --threads 1,2,4 --out runs.json
       python3 tools/bench_to_json.py runs.json -o BENCH_parallel.json
 
+  * "suite": "forest_speedup" JSON from bench/forest_speedup
+    -> BENCH_forest.json
+      ./build/bench/forest_speedup --trees 2,8 --threads 1,2,4 \
+          --out forest.json
+      python3 tools/bench_to_json.py forest.json -o BENCH_forest.json
+
 For the kernel suite the output is per-benchmark ns/record (derived from
 items_per_second) plus the AoS-vs-SoA / direct-vs-buffered speedup ratios.
 Benchmark family names are a contract with bench/micro_kernels.cc -- see the
@@ -164,6 +170,72 @@ def convert_parallel(raw, output):
     return 0
 
 
+def convert_forest(raw, output):
+    """Groups the timed sweep by (trees, inner, schedule) and derives, per
+    thread count, the speedup vs that series' threads=1 run. Runs with
+    schedule == "oob" are the ensemble-size sweep and become a separate
+    "oob_curve" section instead."""
+    series = {}  # (trees, inner, schedule) -> {threads: run}
+    oob_curve = []
+    for run in raw.get("runs", []):
+        if run.get("schedule") == "oob":
+            oob_curve.append({
+                "trees": run["trees"],
+                "oob_accuracy": round(run["oob_accuracy"], 4),
+                "train_seconds": round(run["train_seconds"], 6),
+            })
+            continue
+        key = (run["trees"], run["inner"], run["schedule"])
+        series.setdefault(key, {})[run["threads"]] = run
+
+    out_series = []
+    errors = []
+    for (trees, inner, schedule), by_threads in sorted(series.items()):
+        base = by_threads.get(1)
+        if base is None or not base.get("train_seconds"):
+            errors.append(f"T={trees}/{inner}/{schedule}: "
+                          "no threads=1 baseline")
+            continue
+        points = []
+        for threads in sorted(by_threads):
+            run = by_threads[threads]
+            train = run["train_seconds"]
+            points.append({
+                "threads": threads,
+                "split": f'{run["concurrent_trees"]}x{run["inner_threads"]}',
+                "train_seconds": round(train, 6),
+                "speedup": round(base["train_seconds"] / train, 3)
+                if train else None,
+            })
+        out_series.append({
+            "trees": trees,
+            "inner": inner,
+            "schedule": schedule,
+            "points": points,
+        })
+
+    out = {
+        "schema_version": 1,
+        "suite": "forest_speedup",
+        "context": raw.get("context", {}),
+        "series": out_series,
+        "oob_curve": sorted(oob_curve, key=lambda r: r["trees"]),
+    }
+    with open(output, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {output} ({len(out_series)} series, "
+          f"{len(oob_curve)} oob points)")
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not out_series:
+        print("error: no runs in input", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("input", help="bench JSON file ('-' = stdin)")
@@ -180,6 +252,8 @@ def main():
 
     if raw.get("suite") == "parallel_builders":
         return convert_parallel(raw, args.output or "BENCH_parallel.json")
+    if raw.get("suite") == "forest_speedup":
+        return convert_forest(raw, args.output or "BENCH_forest.json")
     return convert_kernels(raw, args.output or "BENCH_core.json")
 
 

@@ -6,10 +6,18 @@
 //                     --out data.csv --schema-out schema.txt
 //   smptree_cli train --schema schema.txt --data data.csv --algorithm mwk
 //                     --threads 4 --model model.tree [--prune cost] [--env disk]
+//                     [--eval test.csv]
+//   smptree_cli train-forest --schema schema.txt --data data.csv
+//                     --trees 8 --threads 4 --model model.forest
+//                     [--schedule trees-first|inner-first] [--eval test.csv]
 //   smptree_cli eval  --schema schema.txt --model model.tree --data test.csv
 //   smptree_cli show  --schema schema.txt --model model.tree --format dot
 //   smptree_cli predict --schema schema.txt --model model.tree
 //                     --data tuples.csv --out labels.csv
+//
+// eval/predict accept tree and forest model files alike (the file's header
+// line says which); `--eval test.csv` after train/train-forest scores the
+// freshly written model on a held-out CSV.
 //
 // Exit status is 0 on success, 1 on any error (message on stderr).
 
@@ -29,6 +37,8 @@
 #include "data/csv.h"
 #include "data/schema_io.h"
 #include "data/synthetic.h"
+#include "ensemble/forest_builder.h"
+#include "ensemble/forest_io.h"
 #include "util/string_util.h"
 
 namespace smptree {
@@ -53,7 +63,7 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: smptree_cli <gen|train|eval|show|predict>"
+               "usage: smptree_cli <gen|train|train-forest|eval|show|predict>"
                " [--flag value]...\n"
                "  gen:   --function N [--classes K] [--attrs A] [--tuples N]\n"
                "         [--seed S] [--noise P] --out DATA.csv [--schema-out F]\n"
@@ -63,6 +73,11 @@ int Usage() {
                "         [--env mem|disk] [--min-split N] [--max-levels N]\n"
                "         [--criterion gini|entropy]\n"
                "         [--trace-out F.json] [--stats-out F.json]\n"
+               "         [--eval TEST.csv]\n"
+               "  train-forest: train flags (minus rec/--trace-out) plus\n"
+               "         [--trees T] [--schedule trees-first|inner-first]\n"
+               "         [--concurrent-trees N] [--features-per-node M]\n"
+               "         [--bootstrap 0|1] [--oob 0|1] [--forest-seed S]\n"
                "  eval:  --schema F --model F --data F\n"
                "  show:  --schema F --model F [--format text|sql|dot]\n"
                "  predict: --schema F --model F --data F [--out F]\n");
@@ -186,25 +201,21 @@ Result<Dataset> LoadData(const Flags& flags) {
   return ReadCsv(schema, data_path);
 }
 
-int RunTrain(const Flags& flags) {
-  auto data = LoadData(flags);
-  if (!data.ok()) return Fail(data.status().ToString());
-  const std::string model_path = GetFlag(flags, "model");
-  if (model_path.empty()) return Fail("train needs --model");
-
+/// Parses the training flags shared by `train` and `train-forest` into
+/// ClassifierOptions (algorithm, threads, window, pruning, env, criterion).
+Result<ClassifierOptions> ParseTrainOptions(const Flags& flags) {
   ClassifierOptions options;
-  auto algorithm = ParseAlgorithm(GetFlag(flags, "algorithm", "mwk"));
-  if (!algorithm.ok()) return Fail(algorithm.status().ToString());
-  options.build.algorithm = *algorithm;
-  auto subroutine = ParseAlgorithm(GetFlag(flags, "subroutine", "basic"));
-  if (!subroutine.ok()) return Fail(subroutine.status().ToString());
-  options.build.subtree_subroutine = *subroutine;
-  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t threads, IntFlag(flags, "threads", 1));
-  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t window, IntFlag(flags, "window", 4));
-  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t min_split,
-                               IntFlag(flags, "min-split", 2));
-  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t max_levels,
-                               IntFlag(flags, "max-levels", 0));
+  SMPTREE_ASSIGN_OR_RETURN(
+      options.build.algorithm,
+      ParseAlgorithm(GetFlag(flags, "algorithm", "mwk")));
+  SMPTREE_ASSIGN_OR_RETURN(
+      options.build.subtree_subroutine,
+      ParseAlgorithm(GetFlag(flags, "subroutine", "basic")));
+  SMPTREE_ASSIGN_OR_RETURN(int64_t threads, IntFlag(flags, "threads", 1));
+  SMPTREE_ASSIGN_OR_RETURN(int64_t window, IntFlag(flags, "window", 4));
+  SMPTREE_ASSIGN_OR_RETURN(int64_t min_split, IntFlag(flags, "min-split", 2));
+  SMPTREE_ASSIGN_OR_RETURN(int64_t max_levels,
+                           IntFlag(flags, "max-levels", 0));
   options.build.num_threads = static_cast<int>(threads);
   options.build.window = static_cast<int>(window);
   options.build.min_split = min_split;
@@ -213,13 +224,13 @@ int RunTrain(const Flags& flags) {
   if (env_name == "disk") {
     options.build.env = Env::Posix();
   } else if (env_name != "mem") {
-    return Fail("--env must be mem or disk");
+    return Status::InvalidArgument("--env must be mem or disk");
   }
   const std::string criterion = GetFlag(flags, "criterion", "gini");
   if (criterion == "entropy") {
     options.build.gini.criterion = SplitCriterion::kEntropy;
   } else if (criterion != "gini") {
-    return Fail("--criterion must be gini or entropy");
+    return Status::InvalidArgument("--criterion must be gini or entropy");
   }
   const std::string prune = GetFlag(flags, "prune", "none");
   if (prune == "pessimistic") {
@@ -227,8 +238,46 @@ int RunTrain(const Flags& flags) {
   } else if (prune == "cost") {
     options.prune.method = PruneOptions::Method::kCostComplexity;
   } else if (prune != "none") {
-    return Fail("--prune must be none, pessimistic or cost");
+    return Status::InvalidArgument(
+        "--prune must be none, pessimistic or cost");
   }
+  return options;
+}
+
+/// `--eval test.csv` after train/train-forest (and the `eval` subcommand):
+/// scores the model file on a held-out CSV -- accuracy + confusion matrix
+/// through core/metrics, with the model kind sniffed from the file.
+int EvalModelOnCsv(const Schema& schema, const std::string& model_path,
+                   const std::string& eval_path) {
+  SMPTREE_ASSIGN_OR_RETURN_CLI(Dataset test, ReadCsv(schema, eval_path));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(bool is_forest,
+                               ModelStore::IsForestFile(model_path));
+  if (is_forest) {
+    SMPTREE_ASSIGN_OR_RETURN_CLI(
+        Forest forest, ModelStore::LoadForestFile(schema, model_path));
+    const ConfusionMatrix cm = EvaluateForest(forest, test);
+    std::printf("eval %s (forest, %d trees): %lld tuples\n%s", eval_path.c_str(),
+                forest.num_trees(), static_cast<long long>(test.num_tuples()),
+                cm.ToString(schema).c_str());
+  } else {
+    SMPTREE_ASSIGN_OR_RETURN_CLI(
+        DecisionTree tree, ModelStore::LoadTreeFile(schema, model_path));
+    const ConfusionMatrix cm = EvaluateTree(tree, test);
+    std::printf("eval %s (tree): %lld tuples\n%s", eval_path.c_str(),
+                static_cast<long long>(test.num_tuples()),
+                cm.ToString(schema).c_str());
+  }
+  return 0;
+}
+
+int RunTrain(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status().ToString());
+  const std::string model_path = GetFlag(flags, "model");
+  if (model_path.empty()) return Fail("train needs --model");
+
+  SMPTREE_ASSIGN_OR_RETURN_CLI(ClassifierOptions options,
+                               ParseTrainOptions(flags));
 
   // Optional observability outputs: a Chrome trace of the build and/or the
   // BuildStats JSON summary (docs/OBSERVABILITY.md).
@@ -278,6 +327,84 @@ int RunTrain(const Flags& flags) {
     if (!s.ok()) return Fail(s.ToString());
     std::printf("build stats written to %s\n", stats_out.c_str());
   }
+  const std::string eval_path = GetFlag(flags, "eval");
+  if (!eval_path.empty()) {
+    return EvalModelOnCsv(data->schema(), model_path, eval_path);
+  }
+  return 0;
+}
+
+int RunTrainForest(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status().ToString());
+  const std::string model_path = GetFlag(flags, "model");
+  if (model_path.empty()) return Fail("train-forest needs --model");
+
+  ForestOptions options;
+  SMPTREE_ASSIGN_OR_RETURN_CLI(options.tree, ParseTrainOptions(flags));
+  // --threads is the forest-wide budget; the planner decides how much of it
+  // each member build gets.
+  options.num_threads = options.tree.build.num_threads;
+  options.tree.build.num_threads = 1;
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t trees, IntFlag(flags, "trees", 10));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t features,
+                               IntFlag(flags, "features-per-node", 0));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t bootstrap,
+                               IntFlag(flags, "bootstrap", 1));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t oob, IntFlag(flags, "oob", 1));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t seed,
+                               IntFlag(flags, "forest-seed", 42));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t concurrent,
+                               IntFlag(flags, "concurrent-trees", 0));
+  options.num_trees = static_cast<int>(trees);
+  options.features_per_node = static_cast<int>(features);
+  options.bootstrap = bootstrap != 0;
+  options.oob = oob != 0;
+  options.seed = static_cast<uint64_t>(seed);
+  options.concurrent_trees = static_cast<int>(concurrent);
+  const std::string schedule = GetFlag(flags, "schedule", "trees-first");
+  if (schedule == "trees-first") {
+    options.schedule = ForestSchedule::kTreesFirst;
+  } else if (schedule == "inner-first") {
+    options.schedule = ForestSchedule::kInnerFirst;
+  } else {
+    return Fail("--schedule must be trees-first or inner-first");
+  }
+
+  auto result = TrainForest(*data, options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  Status s = WriteFile(model_path, SerializeForest(*result->forest));
+  if (!s.ok()) return Fail(s.ToString());
+
+  const ForestTrainStats& stats = result->stats;
+  const ForestStats shape = result->forest->Stats();
+  std::printf(
+      "trained forest of %d trees (%s inner, schedule %s: %d concurrent x "
+      "%d inner threads) on %lld tuples in %.3fs\n"
+      "forest: %lld nodes, mean depth %.1f, max depth %d\n",
+      result->forest->num_trees(),
+      AlgorithmName(options.tree.build.algorithm),
+      ForestScheduleName(options.schedule), stats.split.concurrent_trees,
+      stats.split.inner_threads, static_cast<long long>(data->num_tuples()),
+      stats.total_seconds, static_cast<long long>(shape.total_nodes),
+      shape.mean_levels, shape.max_levels);
+  if (stats.oob_accuracy >= 0.0) {
+    std::printf("oob accuracy: %.4f over %lld out-of-bag tuples\n",
+                stats.oob_accuracy,
+                static_cast<long long>(stats.oob_tuples));
+  }
+  std::printf("model written to %s\n", model_path.c_str());
+
+  const std::string stats_out = GetFlag(flags, "stats-out");
+  if (!stats_out.empty()) {
+    s = WriteFile(stats_out, stats.build_stats.ToJson() + "\n");
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("build stats written to %s\n", stats_out.c_str());
+  }
+  const std::string eval_path = GetFlag(flags, "eval");
+  if (!eval_path.empty()) {
+    return EvalModelOnCsv(data->schema(), model_path, eval_path);
+  }
   return 0;
 }
 
@@ -293,10 +420,26 @@ Result<DecisionTree> LoadModel(const Flags& flags, const Schema& schema) {
 int RunEval(const Flags& flags) {
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status().ToString());
+  const std::string model_path = GetFlag(flags, "model");
+  if (model_path.empty()) return Fail("eval needs --model");
+  SMPTREE_ASSIGN_OR_RETURN_CLI(bool is_forest,
+                               ModelStore::IsForestFile(model_path));
+  if (is_forest) {
+    SMPTREE_ASSIGN_OR_RETURN_CLI(
+        Forest forest, ModelStore::LoadForestFile(data->schema(), model_path));
+    const ConfusionMatrix cm = EvaluateForest(forest, *data);
+    std::printf("eval %s (forest, %d trees): %lld tuples\n%s",
+                model_path.c_str(), forest.num_trees(),
+                static_cast<long long>(data->num_tuples()),
+                cm.ToString(data->schema()).c_str());
+    return 0;
+  }
   auto tree = LoadModel(flags, data->schema());
   if (!tree.ok()) return Fail(tree.status().ToString());
   const ConfusionMatrix cm = EvaluateTree(*tree, *data);
-  std::printf("%s", cm.ToString(data->schema()).c_str());
+  std::printf("eval %s (tree): %lld tuples\n%s", model_path.c_str(),
+              static_cast<long long>(data->num_tuples()),
+              cm.ToString(data->schema()).c_str());
   return 0;
 }
 
@@ -331,12 +474,22 @@ int RunPredict(const Flags& flags) {
   if (!data.ok()) return Fail(data.status().ToString());
   const std::string model_path = GetFlag(flags, "model");
   if (model_path.empty()) return Fail("predict needs --model");
-  auto tree = ModelStore::LoadTreeFile(data->schema(), model_path);
-  if (!tree.ok()) return Fail(tree.status().ToString());
+  SMPTREE_ASSIGN_OR_RETURN_CLI(bool is_forest,
+                               ModelStore::IsForestFile(model_path));
+  Result<DecisionTree> tree = Status::NotFound("unused");
+  Result<Forest> forest = Status::NotFound("unused");
+  if (is_forest) {
+    forest = ModelStore::LoadForestFile(data->schema(), model_path);
+    if (!forest.ok()) return Fail(forest.status().ToString());
+  } else {
+    tree = ModelStore::LoadTreeFile(data->schema(), model_path);
+    if (!tree.ok()) return Fail(tree.status().ToString());
+  }
 
   std::string out = "class\n";
   for (int64_t t = 0; t < data->num_tuples(); ++t) {
-    const ClassLabel label = tree->Classify(*data, t);
+    const ClassLabel label = is_forest ? forest->Classify(*data, t)
+                                       : tree->Classify(*data, t);
     out += data->schema().class_name(label);
     out += "\n";
   }
@@ -362,6 +515,7 @@ int Main(int argc, char** argv) {
   }
   if (command == "gen") return RunGen(*flags);
   if (command == "train") return RunTrain(*flags);
+  if (command == "train-forest") return RunTrainForest(*flags);
   if (command == "eval") return RunEval(*flags);
   if (command == "show") return RunShow(*flags);
   if (command == "predict") return RunPredict(*flags);

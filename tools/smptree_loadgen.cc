@@ -3,7 +3,7 @@
 //
 //   smptree_loadgen --port N --op predict --schema F --data F
 //                   [--batch 32] [--concurrency 4] [--requests 200]
-//                   [--model F]            # verify labels against the tree
+//                   [--model F]    # verify labels against the local model
 //   smptree_loadgen --port N --op reload --model PATH
 //   smptree_loadgen --port N --op healthz|statz
 //
@@ -76,7 +76,11 @@ std::string PredictBody(const Dataset& data, int64_t begin, int64_t count) {
 
 struct PredictShared {
   const Dataset* data = nullptr;
-  const DecisionTree* verify_tree = nullptr;  ///< nullptr: skip verification
+  // Local verification model (both null: skip verification). --model sniffs
+  // the file's header line, so the same flag verifies tree and forest
+  // servers alike.
+  const DecisionTree* verify_tree = nullptr;
+  const Forest* verify_forest = nullptr;
   std::string host;
   uint16_t port = 0;
   int64_t batch = 32;
@@ -114,7 +118,9 @@ void PredictClient(PredictShared* shared) {
       continue;
     }
     shared->tuples.fetch_add(static_cast<uint64_t>(count));
-    if (shared->verify_tree == nullptr) continue;
+    if (shared->verify_tree == nullptr && shared->verify_forest == nullptr) {
+      continue;
+    }
 
     auto doc = ParseJson(response->body);
     const JsonValue* codes = doc.ok() ? doc->Find("codes") : nullptr;
@@ -126,7 +132,9 @@ void PredictClient(PredictShared* shared) {
     TupleValues row;
     for (int64_t t = 0; t < count; ++t) {
       row = shared->data->Tuple(begin + t);
-      const ClassLabel expected = shared->verify_tree->Classify(row);
+      const ClassLabel expected = shared->verify_forest != nullptr
+                                      ? shared->verify_forest->Classify(row)
+                                      : shared->verify_tree->Classify(row);
       const double got = codes->array_items()[static_cast<size_t>(t)]
                              .number_value();
       if (static_cast<ClassLabel>(got) != expected) {
@@ -171,10 +179,19 @@ int RunPredict(const std::map<std::string, std::string>& flags,
   }
 
   Result<DecisionTree> verify_tree = Status::NotFound("unused");
+  Result<Forest> verify_forest = Status::NotFound("unused");
   if (!get("model").empty()) {
-    verify_tree = ModelStore::LoadTreeFile(*schema, get("model"));
-    if (!verify_tree.ok()) return Fail(verify_tree.status().ToString());
-    shared.verify_tree = &*verify_tree;
+    auto is_forest = ModelStore::IsForestFile(get("model"));
+    if (!is_forest.ok()) return Fail(is_forest.status().ToString());
+    if (*is_forest) {
+      verify_forest = ModelStore::LoadForestFile(*schema, get("model"));
+      if (!verify_forest.ok()) return Fail(verify_forest.status().ToString());
+      shared.verify_forest = &*verify_forest;
+    } else {
+      verify_tree = ModelStore::LoadTreeFile(*schema, get("model"));
+      if (!verify_tree.ok()) return Fail(verify_tree.status().ToString());
+      shared.verify_tree = &*verify_tree;
+    }
   }
 
   Timer elapsed;

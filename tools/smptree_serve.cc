@@ -123,10 +123,13 @@ int Main(int argc, char** argv) {
   if (!started.ok()) return Fail(started.ToString());
 
   const ServingModelPtr model = service.store().Current();
-  std::printf("smptree_serve: model %s (epoch %lld, %lld nodes, %d workers)\n",
-              model->source.c_str(), static_cast<long long>(model->epoch),
-              static_cast<long long>(model->tree.num_nodes()),
-              service.engine().num_workers());
+  std::printf(
+      "smptree_serve: %s model %s (epoch %lld, %d trees, %lld nodes, "
+      "%d workers)\n",
+      model->kind_name(), model->source.c_str(),
+      static_cast<long long>(model->epoch), model->num_trees(),
+      static_cast<long long>(model->total_nodes()),
+      service.engine().num_workers());
   std::printf("listening on %u\n", static_cast<unsigned>(service.port()));
   std::fflush(stdout);
 
