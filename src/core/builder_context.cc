@@ -87,7 +87,9 @@ Status BuildOptions::Validate() const {
 
 std::string MakeScratchDir(Env* env, const std::string& requested) {
   static std::atomic<uint64_t> counter{0};
-  const uint64_t id = counter.fetch_add(1);
+  // Relaxed RMW: the counter only allocates unique suffixes; it publishes
+  // no data, so no ordering is needed.
+  const uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
   std::string base = requested;
   if (base.empty()) {
     if (env->Name() == "posix") {

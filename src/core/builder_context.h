@@ -39,7 +39,7 @@
 namespace smptree {
 
 /// Tree-building algorithm selector.
-enum class Algorithm {
+enum class Algorithm : unsigned char {
   kSerial,          ///< serial SPRINT (section 2)
   kBasic,           ///< attribute data parallelism, master W (section 3.2.1)
   kFwk,             ///< fixed-window-K pipelining (section 3.2.2)
@@ -233,15 +233,29 @@ class BuildContext {
   void set_levels_built(int levels) { levels_built_ = levels; }
 
  private:
+  // lint: unguarded(set at construction; read-only while the team runs)
   const Dataset* data_;
+  // lint: unguarded(set at construction; read-only while the team runs)
   BuildOptions options_;
+  // lint: unguarded(growth serializes on the tree's own grow_mutex_)
   DecisionTree* tree_;
+  // lint: unguarded(BuildCounters is all-atomic)
   BuildCounters* counters_;
+  // lint: unguarded(set at construction; read-only while the team runs)
   Env* env_;
+  // lint: unguarded(set at construction; read-only while the team runs)
   std::unique_ptr<Env> owned_env_;  // when options.env == nullptr
+  // lint: unguarded(set at construction; read-only while the team runs)
   std::string scratch_dir_;
+  // Level-phase contract: mutated only between team barriers;
+  // SharedExclusiveCheck asserts the quiescence in debug builds.
+  // lint: unguarded(mutated only between team barriers, debug-checked)
   std::unique_ptr<LevelStorage> storage_;
+  // W writes distinct tids; S reads only leaves whose W completed this
+  // level (see probe.h).
+  // lint: unguarded(per-tid W ownership; S reads post-W leaves only)
   SplitProbe probe_;
+  // lint: unguarded(written between levels by the coordinator only)
   int levels_built_ = 0;
 
   mutable Mutex trace_mutex_;

@@ -76,18 +76,28 @@ Result<TrainResult> TrainClassifier(const Dataset& data,
   result.stats.total_seconds = total.Seconds();
   result.stats.records_read = ctx.storage()->records_read();
   result.stats.records_written = ctx.storage()->records_written();
-  result.stats.barrier_waits = counters.barrier_waits.load();
-  result.stats.condvar_waits = counters.condvar_waits.load();
-  result.stats.attr_tasks = counters.attr_tasks.load();
-  result.stats.free_queue_rounds = counters.free_queue_rounds.load();
+  // Relaxed loads: the builder's thread team has joined by this point, so
+  // the join orders every counter update before these quiescent reads.
+  result.stats.barrier_waits =
+      counters.barrier_waits.load(std::memory_order_relaxed);
+  result.stats.condvar_waits =
+      counters.condvar_waits.load(std::memory_order_relaxed);
+  result.stats.attr_tasks =
+      counters.attr_tasks.load(std::memory_order_relaxed);
+  result.stats.free_queue_rounds =
+      counters.free_queue_rounds.load(std::memory_order_relaxed);
   result.stats.wait_seconds =
-      static_cast<double>(counters.wait_nanos.load()) / 1e9;
+      static_cast<double>(counters.wait_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
   result.stats.e_phase_seconds =
-      static_cast<double>(counters.e_nanos.load()) / 1e9;
+      static_cast<double>(counters.e_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
   result.stats.w_phase_seconds =
-      static_cast<double>(counters.w_nanos.load()) / 1e9;
+      static_cast<double>(counters.w_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
   result.stats.s_phase_seconds =
-      static_cast<double>(counters.s_nanos.load()) / 1e9;
+      static_cast<double>(counters.s_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
   result.stats.level_trace = ctx.LevelTrace();
   result.stats.build_stats = MakeBuildStats(
       AlgorithmName(options.build.algorithm), options.build.num_threads,

@@ -21,7 +21,7 @@
 namespace smptree {
 
 struct PruneOptions {
-  enum class Method {
+  enum class Method : unsigned char {
     kNone,
     kPessimistic,
     kCostComplexity,

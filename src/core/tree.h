@@ -159,6 +159,7 @@ class DecisionTree {
   /// Drops all nodes (used by CompactAfterPrune's rebuild).
   void ResetArena() REQUIRES(*grow_mutex_);
 
+  // lint: unguarded(set at construction/load; immutable while shared)
   Schema schema_;
   // Heap-allocated so DecisionTree stays movable (builders never move a
   // tree while growing it).

@@ -48,7 +48,7 @@
 namespace smptree {
 
 /// How PlanThreadSplit spends the thread budget (header comment above).
-enum class ForestSchedule {
+enum class ForestSchedule : unsigned char {
   kTreesFirst,
   kInnerFirst,
 };

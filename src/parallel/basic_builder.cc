@@ -18,7 +18,10 @@ Status BuildTreeBasic(BuildContext* ctx, std::vector<LeafTask> level) {
 
   e_sched.Reset(level.empty() ? 0 : num_attrs);
   s_sched.Reset(level.empty() ? 0 : num_attrs);
-  if (level.empty()) done.store(true);
+  // Release-store paired with the workers' acquire loads of `done`
+  // (pre-spawn here, so thread creation also orders it; the release
+  // keeps the pairing uniform with the in-loop store).
+  if (level.empty()) done.store(true, std::memory_order_release);
 
   auto worker = [&](int tid) {
     TraceThreadBinding trace(ctx->trace(), tid);

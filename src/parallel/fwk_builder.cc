@@ -17,7 +17,10 @@ Status BuildTreeFwk(BuildContext* ctx, std::vector<LeafTask> level) {
   Barrier barrier(threads);
   ErrorSink sink;
   std::atomic<bool> done{false};
-  if (level.empty()) done.store(true);
+  // Release-store paired with the workers' acquire loads of `done`
+  // (pre-spawn here, so thread creation also orders it; the release
+  // keeps the pairing uniform with the in-loop store).
+  if (level.empty()) done.store(true, std::memory_order_release);
 
   // Per-leaf countdown of outstanding evaluation tasks; the thread that
   // drops a leaf's count to zero owns its W step.

@@ -16,7 +16,10 @@ Status BuildTreeMwk(BuildContext* ctx, std::vector<LeafTask> level) {
   Barrier barrier(threads);
   ErrorSink sink;
   std::atomic<bool> done{false};
-  if (level.empty()) done.store(true);
+  // Release-store paired with the workers' acquire loads of `done`
+  // (pre-spawn here, so thread creation also orders it; the release
+  // keeps the pairing uniform with the in-loop store).
+  if (level.empty()) done.store(true, std::memory_order_release);
 
   MwkLevelState state;
   if (!level.empty()) state.Arm(level, num_attrs);

@@ -46,7 +46,10 @@ Status BuildTreeRecordParallel(BuildContext* ctx, std::vector<LeafTask> level) {
   Barrier barrier(threads);
   ErrorSink sink;
   std::atomic<bool> done{false};
-  if (level.empty()) done.store(true);
+  // Release-store paired with the workers' acquire loads of `done`
+  // (pre-spawn here, so thread creation also orders it; the release
+  // keeps the pairing uniform with the in-loop store).
+  if (level.empty()) done.store(true, std::memory_order_release);
 
   RecScratch shared;
   DynamicScheduler s_sched;

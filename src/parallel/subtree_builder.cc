@@ -17,9 +17,16 @@ namespace {
 
 /// One processor group working on one subtree's leaf frontier.
 struct Group {
+  // The next four fields are written by the master while every other
+  // member sleeps in the decision handshake below; the cv release/acquire
+  // publishes them to the members that resume.
+  // lint: unguarded(master-only writes during the decision handshake)
   std::vector<int> members;  // thread ids, sorted; members[0] is the master
+  // lint: unguarded(master-only writes during the decision handshake)
   int depth = 0;             // tree depth of the frontier (root group = 0)
+  // lint: unguarded(master-only writes during the decision handshake)
   std::vector<LeafTask> level;
+  // lint: unguarded(master-only writes during the decision handshake)
   std::unique_ptr<LevelStorage> storage;
   std::unique_ptr<Barrier> barrier;
   DynamicScheduler e_sched;

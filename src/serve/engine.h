@@ -100,7 +100,12 @@ class PredictionEngine {
   struct Request {
     explicit Request(Batch b) : batch(std::move(b)) {}
 
+    // Handoff protocol, not lock coverage: the worker fills batch/outcome
+    // while it solely owns the request, then sets done under mu; the
+    // caller touches them again only after observing done under mu.
+    // lint: unguarded(worker-owned until done is set under mu)
     Batch batch;
+    // lint: unguarded(worker-owned until done is set under mu)
     PredictOutcome outcome;
 
     Mutex mu;

@@ -92,11 +92,14 @@ class HttpServer {
   void UnregisterConnection(int fd) EXCLUDES(conns_mu_);
 
   const Options options_;
+  // lint: unguarded(route table is frozen before Start; immutable serving)
   std::map<std::pair<std::string, std::string>, Handler> routes_;
   WorkQueue<int> pending_connections_;
+  // lint: unguarded(written in Start/Stop only; never touched by workers)
   std::vector<std::thread> threads_;  ///< [0] = accept, rest = connections
   std::atomic<bool> running_{false};
   std::atomic<int> listen_fd_{-1};
+  // lint: unguarded(written once in Start before the accept thread spawns)
   uint16_t bound_port_ = 0;
   Mutex conns_mu_;
   std::set<int> active_fds_ GUARDED_BY(conns_mu_);

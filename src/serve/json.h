@@ -20,7 +20,7 @@ namespace smptree {
 /// whole tree is immutable after parsing.
 class JsonValue {
  public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  enum class Type : unsigned char { kNull, kBool, kNumber, kString, kArray, kObject };
 
   JsonValue() : type_(Type::kNull) {}
   static JsonValue MakeBool(bool b);

@@ -35,7 +35,7 @@
 namespace smptree {
 
 /// What a ServingModel holds.
-enum class ModelKind {
+enum class ModelKind : unsigned char {
   kTree,
   kForest,
 };
@@ -164,7 +164,7 @@ class ModelStore {
   /// Shared install tail: schema check, epoch stamp, pointer swap.
   Status InstallModel(std::shared_ptr<ServingModel> model) EXCLUDES(mu_);
 
-  Schema schema_;  ///< fixed at creation; immutable thereafter
+  const Schema schema_;  ///< fixed at creation; immutable thereafter
   // One lock for epoch assignment and publication: installs serialize so
   // epochs are published in order, and snapshot reads copy the pointer
   // inside the same lock. Retirement needs no lock at all -- it is the

@@ -33,7 +33,8 @@ FileSet::~FileSet() {
   // Close handles before unlinking (file objects own the descriptors).
   files_.clear();
   for (const auto& path : paths_) {
-    env_->DeleteFile(path);  // best effort; scratch files
+    // lint: status-discard(best-effort scratch unlink in a destructor)
+    env_->DeleteFile(path);
   }
 }
 

@@ -51,14 +51,19 @@ void BuildCounters::Reset() {
 }
 
 std::string BuildCounters::ToString() const {
+  // Relaxed loads: ToString is a quiescent summary read (after the thread
+  // team joined); the join provides the ordering, not the counters.
+  const auto get = [](const std::atomic<uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
   std::ostringstream os;
-  os << "barriers=" << barrier_waits.load() << " cv_waits=" << condvar_waits.load()
-     << " scanned=" << records_scanned.load() << " split=" << records_split.load()
-     << " tasks=" << attr_tasks.load() << " free_rounds=" << free_queue_rounds.load()
-     << " wait_ms=" << static_cast<double>(wait_nanos.load()) / 1e6
-     << " e_ms=" << static_cast<double>(e_nanos.load()) / 1e6
-     << " w_ms=" << static_cast<double>(w_nanos.load()) / 1e6
-     << " s_ms=" << static_cast<double>(s_nanos.load()) / 1e6;
+  os << "barriers=" << get(barrier_waits) << " cv_waits=" << get(condvar_waits)
+     << " scanned=" << get(records_scanned) << " split=" << get(records_split)
+     << " tasks=" << get(attr_tasks) << " free_rounds=" << get(free_queue_rounds)
+     << " wait_ms=" << static_cast<double>(get(wait_nanos)) / 1e6
+     << " e_ms=" << static_cast<double>(get(e_nanos)) / 1e6
+     << " w_ms=" << static_cast<double>(get(w_nanos)) / 1e6
+     << " s_ms=" << static_cast<double>(get(s_nanos)) / 1e6;
   return os.str();
 }
 

@@ -39,7 +39,7 @@ class RunningStat {
 
 /// The three per-level build phases of the paper (evaluate splits, find
 /// winners/build probe structures, split attribute lists).
-enum class BuildPhase { kEvaluate, kWinner, kSplit };
+enum class BuildPhase : unsigned char { kEvaluate, kWinner, kSplit };
 
 /// Counters a parallel build exports for the ablation benchmarks. All fields
 /// are cumulative across threads and levels.

@@ -51,6 +51,31 @@ TEST(SharedExclusiveCheckTest, ConcurrentSharedHoldersPass) {
   debug::ExclusiveScope e(check);  // quiescent again
 }
 
+TEST(SharedExclusiveCheckTest, ExclusiveReusableAfterExit) {
+  debug::SharedExclusiveCheck check("test");
+  { debug::ExclusiveScope a(check); }
+  { debug::ExclusiveScope b(check); }  // sequential exclusives are fine
+  { debug::SharedScope c(check); }
+}
+
+TEST(DcheckTest, TrueConditionPassesAndEvaluatesOnce) {
+  int evaluations = 0;
+  SMPTREE_DCHECK(++evaluations > 0, "condition must hold");
+  if (kChecksOn) {
+    EXPECT_EQ(evaluations, 1);  // evaluated exactly once, never re-checked
+  } else {
+    EXPECT_EQ(evaluations, 0);  // compiled out entirely in release
+  }
+}
+
+using DcheckDeathTest = ::testing::Test;
+
+TEST(DcheckDeathTest, FalseConditionAbortsWithContractMessage) {
+  SKIP_WITHOUT_CHECKS();
+  EXPECT_DEATH(SMPTREE_DCHECK(1 == 2, "epochs must advance monotonically"),
+               "invariant violated: epochs must advance monotonically");
+}
+
 using SharedExclusiveCheckDeathTest = ::testing::Test;
 
 TEST(SharedExclusiveCheckDeathTest, ExclusiveDuringSharedAborts) {

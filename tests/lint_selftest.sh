@@ -1,0 +1,19 @@
+#!/bin/sh
+# Workflow test for the smptree static-lint pass:
+#   1. the fixture selftest must pass (every check fires and stays silent
+#      exactly where the EXPECT markers say), and
+#   2. the real source tree must lint clean with zero unwaivered findings.
+#
+# Usage: lint_selftest.sh <python3> <repo-root>
+set -eu
+
+PYTHON="${1:?usage: lint_selftest.sh <python3> <repo-root>}"
+ROOT="${2:?usage: lint_selftest.sh <python3> <repo-root>}"
+
+echo "== lint fixture selftest =="
+"$PYTHON" "$ROOT/tools/lint/selftest.py"
+
+echo "== lint src/ (must be clean) =="
+"$PYTHON" "$ROOT/tools/lint/smptree_lint.py" "$ROOT/src"
+
+echo "lint_selftest: PASS"

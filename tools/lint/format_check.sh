@@ -1,0 +1,51 @@
+#!/bin/sh
+# Check-only formatting gate. Runs `clang-format --dry-run -Werror` over the
+# C++ files changed relative to a base ref, so the pre-existing tree is
+# grandfathered and adopting .clang-format creates no reformat churn.
+#
+# Usage: format_check.sh <clang-format-binary> [base-ref]
+#   base-ref defaults to $FORMAT_BASE_REF, then origin/main, then HEAD~1.
+# With no git history at all, falls back to checking the full tree.
+set -eu
+
+CLANG_FORMAT="${1:?usage: format_check.sh <clang-format-binary> [base-ref]}"
+BASE="${2:-${FORMAT_BASE_REF:-}}"
+
+cd "$(dirname "$0")/../.."
+
+changed_files() {
+  if [ -n "$BASE" ]; then
+    git diff --name-only --diff-filter=ACMR "$(git merge-base "$BASE" HEAD)"
+  elif git rev-parse --verify -q origin/main >/dev/null 2>&1; then
+    git diff --name-only --diff-filter=ACMR \
+        "$(git merge-base origin/main HEAD)"
+  elif git rev-parse --verify -q HEAD~1 >/dev/null 2>&1; then
+    git diff --name-only --diff-filter=ACMR HEAD~1
+  else
+    git ls-files
+  fi
+}
+
+FILES=$(changed_files | grep -E '\.(cc|h)$' \
+        | grep -E '^(src|tests|tools|bench|examples)/' || true)
+
+if [ -z "$FILES" ]; then
+  echo "format-check: no changed C++ files to check"
+  exit 0
+fi
+
+echo "format-check: checking $(echo "$FILES" | wc -l) file(s)"
+STATUS=0
+for f in $FILES; do
+  [ -f "$f" ] || continue
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f"; then
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "format-check: FAILED (run clang-format -i on the files above)" >&2
+else
+  echo "format-check: PASS"
+fi
+exit "$STATUS"

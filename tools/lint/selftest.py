@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Self-test for smptree_lint.py driven by EXPECT markers in testdata/.
+
+Each fixture under testdata/ declares its expected findings inline:
+
+    code;  // EXPECT: <check-id>          one unwaived finding on this line
+    code;  // EXPECT: <check-id> x2       two unwaived findings on this line
+    code;  // EXPECT-WAIVED: <check-id>   one waived finding on this line
+    // EXPECT-AT: <check-id>@<line>       unwaived finding at an explicit
+                                          line (for findings on waiver
+                                          comment lines themselves)
+    // EXPECT-UNUSED-WAIVER: <tag>@<line> waiver reported unused in JSON
+
+The runner lints every fixture with --json and compares the (check, line,
+waived) multiset against the markers in both directions: a finding with no
+marker is as fatal as a marker with no finding.  This pins the analyzer's
+behavior without libclang: the fixtures ARE the spec.
+
+Exit 0 when every fixture matches, 1 with a diff otherwise.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINTER = os.path.join(HERE, "smptree_lint.py")
+TESTDATA = os.path.join(HERE, "testdata")
+
+_EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([a-z-]+)(?:\s+x(\d+))?")
+_WAIVED_RE = re.compile(r"//\s*EXPECT-WAIVED:\s*([a-z-]+)")
+_AT_RE = re.compile(r"//\s*EXPECT-AT:\s*([a-z-]+)@(\d+)")
+_UNUSED_RE = re.compile(r"//\s*EXPECT-UNUSED-WAIVER:\s*([a-z-]+)@(\d+)")
+
+
+def parse_markers(path):
+    """Returns (expected findings multiset, expected unused-waiver set).
+
+    Findings are keyed (check, line, waived) -> count.
+    """
+    expected = {}
+    unused = set()
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = _EXPECT_RE.search(line)
+            if m:
+                count = int(m.group(2) or 1)
+                key = (m.group(1), lineno, False)
+                expected[key] = expected.get(key, 0) + count
+            m = _WAIVED_RE.search(line)
+            if m:
+                key = (m.group(1), lineno, True)
+                expected[key] = expected.get(key, 0) + 1
+            for m in _AT_RE.finditer(line):
+                key = (m.group(1), int(m.group(2)), False)
+                expected[key] = expected.get(key, 0) + 1
+            for m in _UNUSED_RE.finditer(line):
+                unused.add((m.group(1), int(m.group(2))))
+    return expected, unused
+
+
+def lint_file(path):
+    """Runs the linter on one fixture; returns the parsed JSON doc."""
+    with tempfile.NamedTemporaryFile(
+            mode="r", suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        subprocess.run(
+            [sys.executable, LINTER, "--quiet", "--json", json_path, path],
+            check=False, capture_output=True, text=True)
+        with open(json_path, encoding="utf-8") as f:
+            return json.load(f)
+    finally:
+        os.unlink(json_path)
+
+
+def actual_multiset(doc):
+    actual = {}
+    for f in doc["findings"]:
+        key = (f["check"], f["line"], f["waived"])
+        actual[key] = actual.get(key, 0) + 1
+    return actual
+
+
+def describe(key, count):
+    check, line, waived = key
+    tag = "waived " if waived else ""
+    suffix = f" x{count}" if count > 1 else ""
+    return f"line {line}: {tag}{check}{suffix}"
+
+
+def run_fixture(path):
+    name = os.path.basename(path)
+    expected, expected_unused = parse_markers(path)
+    doc = lint_file(path)
+    actual = actual_multiset(doc)
+    actual_unused = {(w["tag"], w["line"])
+                     for w in doc["summary"]["unused_waivers"]}
+
+    errors = []
+    for key in sorted(set(expected) | set(actual)):
+        want, got = expected.get(key, 0), actual.get(key, 0)
+        if want != got:
+            errors.append(f"  expected {describe(key, want)} but linter "
+                          f"reported {describe(key, got)}"
+                          if want and got else
+                          (f"  missing: {describe(key, want)}" if want
+                           else f"  unexpected: {describe(key, got)}"))
+    for tag, line in sorted(expected_unused - actual_unused):
+        errors.append(f"  missing unused-waiver: {tag}@{line}")
+    for tag, line in sorted(actual_unused - expected_unused):
+        errors.append(f"  unexpected unused-waiver: {tag}@{line}")
+
+    if errors:
+        print(f"FAIL {name}")
+        for e in errors:
+            print(e)
+        return False
+    total = sum(expected.values())
+    print(f"ok   {name} ({total} expected finding(s))")
+    return True
+
+
+def main():
+    fixtures = sorted(
+        os.path.join(TESTDATA, f) for f in os.listdir(TESTDATA)
+        if f.endswith((".cc", ".h")))
+    if not fixtures:
+        print("selftest: no fixtures found under", TESTDATA, file=sys.stderr)
+        return 2
+    failures = sum(0 if run_fixture(p) else 1 for p in fixtures)
+    if failures:
+        print(f"selftest: {failures}/{len(fixtures)} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"selftest: all {len(fixtures)} fixtures match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

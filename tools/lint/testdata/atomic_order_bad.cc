@@ -1,0 +1,28 @@
+// Fixture: every defaulted-memory_order atomic operation must fire.
+#include <atomic>
+
+namespace smptree {
+
+struct Counters {
+  std::atomic<unsigned long> scanned{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> slots{0};
+};
+
+void Bad(Counters& c) {
+  c.scanned.fetch_add(1);                 // EXPECT: atomic-explicit-order
+  c.done.store(true);                     // EXPECT: atomic-explicit-order
+  unsigned long v = c.scanned.load();     // EXPECT: atomic-explicit-order
+  (void)v;
+  c.slots.exchange(3);                    // EXPECT: atomic-explicit-order
+  int expect = 3;
+  c.slots.compare_exchange_strong(expect, 4);  // EXPECT: atomic-explicit-order
+}
+
+void BadOperators(Counters& c) {
+  c.scanned++;                            // EXPECT: atomic-explicit-order
+  c.slots += 2;                           // EXPECT: atomic-explicit-order
+  c.done = true;                          // EXPECT: atomic-explicit-order
+}
+
+}  // namespace smptree

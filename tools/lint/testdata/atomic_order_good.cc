@@ -1,0 +1,28 @@
+// Fixture: explicit memory orders (and non-atomic lookalikes) stay silent.
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace smptree {
+
+struct Counters {
+  std::atomic<unsigned long> scanned{0};
+  std::atomic<bool> done{false};
+};
+
+void Good(Counters& c) {
+  c.scanned.fetch_add(1, std::memory_order_relaxed);
+  c.done.store(true, std::memory_order_release);
+  while (!c.done.load(std::memory_order_acquire)) {
+  }
+  unsigned long v = c.scanned.load(std::memory_order_relaxed);
+  (void)v;
+}
+
+void NotAtomics(std::vector<int>& v, std::string& s) {
+  // Container clear() is not atomic_flag::clear().
+  v.clear();
+  s.clear();
+}
+
+}  // namespace smptree

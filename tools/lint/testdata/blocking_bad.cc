@@ -1,0 +1,42 @@
+// Fixture: blocking calls in a lock-holding scope fire.
+#include <chrono>
+#include <thread>
+
+#include "storage/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace smptree {
+
+class Store {
+ public:
+  void BadSleepUnderLock() {
+    MutexLock lock(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // EXPECT: no-blocking-under-lock
+  }
+
+  void BadIoUnderLock(Env* env) {
+    MutexLock lock(mu_);
+    env->DeleteFile("scratch");  // EXPECT: no-blocking-under-lock
+  }
+
+  void BadNonLoopedWait() {
+    MutexLock lock(mu_);
+    cv_.Wait(mu_);  // EXPECT: no-blocking-under-lock
+  }
+
+  void BadBarrierUnderLock() {
+    MutexLock lock(mu_);
+    barrier_.Wait();  // EXPECT: no-blocking-under-lock
+  }
+
+ private:
+  struct Rendezvous {
+    void Wait();
+  };
+  Mutex mu_;
+  CondVar cv_;
+  Rendezvous barrier_ GUARDED_BY(mu_);
+};
+
+}  // namespace smptree

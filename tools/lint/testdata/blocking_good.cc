@@ -1,0 +1,45 @@
+// Fixture: predicate-looped waits, unlocked I/O, and scope-bounded locks
+// stay silent.
+#include <chrono>
+#include <thread>
+
+#include "storage/env.h"
+#include "util/mutex.h"
+
+namespace smptree {
+
+class Store {
+ public:
+  void GoodLoopedWait() {
+    MutexLock lock(mu_);
+    while (!ready_) cv_.Wait(mu_);
+  }
+
+  void GoodBracedLoopedWait() {
+    MutexLock lock(mu_);
+    while (!ready_) {
+      cv_.Wait(mu_);
+    }
+  }
+
+  void GoodIoOutsideLock(Env* env) {
+    {
+      MutexLock lock(mu_);
+      ready_ = false;
+    }
+    env->DeleteFile("scratch");  // lock already released by scope exit
+  }
+
+  void GoodSleepOutsideLock() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    MutexLock lock(mu_);
+    ready_ = true;
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace smptree

@@ -1,0 +1,28 @@
+// Fixture: mutable members of a Mutex-owning class without GUARDED_BY fire.
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace smptree {
+
+class Registry {
+ public:
+  void Add(int v);
+
+ private:
+  Mutex mu_;
+  std::vector<int> values_;      // EXPECT: guarded-by-coverage
+  int count_ = 0;                // EXPECT: guarded-by-coverage
+  const char* label_ = nullptr;  // EXPECT: guarded-by-coverage
+};
+
+struct Handshake {
+  Mutex mu;
+  CondVar cv;
+  bool ready GUARDED_BY(mu) = false;
+  std::string payload;           // EXPECT: guarded-by-coverage
+};
+
+}  // namespace smptree

@@ -1,0 +1,47 @@
+// Fixture: annotated, exempt (const/static/atomic/self-sync/reference),
+// waived, and mutex-free classes stay silent.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace smptree {
+
+class Registry {
+ public:
+  void Add(int v);
+  int count() const EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<int> values_ GUARDED_BY(mu_);
+  int count_ GUARDED_BY(mu_) = 0;
+  std::atomic<int> hits_{0};         // atomics need no guard
+  const int capacity_ = 8;           // top-level const is immutable
+  static constexpr int kLimit = 16;  // per-class constant
+  CondVar cv_;                       // self-synchronizing
+  // lint: unguarded(set at construction; read-only afterwards)
+  std::string name_;  // EXPECT-WAIVED: guarded-by-coverage
+};
+
+// No Mutex owned: the check does not apply at all.
+class Plain {
+ private:
+  std::vector<int> values_;
+  int count_ = 0;
+};
+
+// A reference member cannot be reseated; the binding itself is immutable.
+class Borrower {
+ private:
+  Mutex mu_;
+  Mutex& parent_mu_;
+  int held_ GUARDED_BY(mu_) = 0;
+
+ public:
+  explicit Borrower(Mutex& m) : parent_mu_(m) {}
+};
+
+}  // namespace smptree

@@ -1,0 +1,15 @@
+// Fixture: raw trace-layer access outside util/trace.{h,cc} fires.
+#include "util/trace.h"
+
+namespace smptree {
+
+void BadBinding(TraceRecorder* recorder, int tid) {
+  auto* buffer = recorder->AttachThread(tid);  // EXPECT: raii-span-pairing
+  (void)buffer;
+}
+
+void BadBufferPoke() {
+  trace_internal::t_buffer = nullptr;  // EXPECT: raii-span-pairing x2
+}
+
+}  // namespace smptree

@@ -1,0 +1,15 @@
+// Fixture: the RAII trace types are the sanctioned surface.
+#include "util/trace.h"
+
+namespace smptree {
+
+void GoodSpans(TraceRecorder* recorder, int tid) {
+  TraceThreadBinding binding(recorder, tid);
+  {
+    TraceSpan span("E", "phase", /*level=*/0);
+    span.set_arg(128);
+  }
+  TraceSpan wait("barrier", "wait");
+}
+
+}  // namespace smptree

@@ -1,0 +1,29 @@
+// Fixture: silently dropped util::Status results fire.
+#include <string>
+
+#include "util/status.h"
+
+namespace smptree {
+
+Status FlushSideEffects(const std::string& path);
+
+class Sink {
+ public:
+  Status Commit();
+  void Run();
+
+ private:
+  Sink* next_ = nullptr;
+};
+
+void Sloppy(Sink* sink) {
+  FlushSideEffects("wal");   // EXPECT: status-must-use
+  sink->Commit();            // EXPECT: status-must-use
+  sink();
+}
+
+void Chained(Sink* sink) {
+  sink->next_->Commit();     // EXPECT: status-must-use
+}
+
+}  // namespace smptree

@@ -1,0 +1,29 @@
+// Fixture: consumed, propagated, or explicitly discarded Status results
+// stay silent.
+#include <string>
+
+#include "util/status.h"
+
+namespace smptree {
+
+Status FlushSideEffects(const std::string& path);
+
+class Sink {
+ public:
+  Status Commit();
+};
+
+Status Careful(Sink* sink) {
+  Status s = FlushSideEffects("wal");
+  if (!s.ok()) return s;
+  if (!sink->Commit().ok()) {
+    return Status::Internal("commit failed");
+  }
+  return sink->Commit();
+}
+
+void ExplicitDiscard(Sink* sink) {
+  (void)sink->Commit();  // visible intent: allowed without a waiver
+}
+
+}  // namespace smptree

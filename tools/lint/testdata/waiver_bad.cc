@@ -1,0 +1,28 @@
+// Fixture: malformed waivers are themselves (unwaivable) findings, and a
+// waiver that matches nothing is reported as unused in the JSON summary.
+#include <atomic>
+
+namespace smptree {
+
+struct Counters {
+  std::atomic<int> hits{0};
+};
+
+void Bad(Counters& c) {
+  // lint: atomic-order()
+  c.hits.fetch_add(1);  // EXPECT: atomic-explicit-order
+
+  // lint: not-a-real-tag(some reason)
+  c.hits.store(2);  // EXPECT: atomic-explicit-order
+
+  // lint: blocking(nothing blocking here, so this waiver is unused)
+  int x = 0;
+  (void)x;
+}
+// The two malformed waivers above also yield findings on their own lines
+// (the marker cannot sit on the waiver line without changing its parse):
+// EXPECT-AT: bad-waiver@12
+// EXPECT-AT: bad-waiver@15
+// EXPECT-UNUSED-WAIVER: blocking@18
+
+}  // namespace smptree

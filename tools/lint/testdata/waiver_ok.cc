@@ -1,0 +1,37 @@
+// Fixture: every check can be waived with a reasoned waiver; the file is
+// clean (exit 0) but each finding below is reported as waived.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "storage/env.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace smptree {
+
+Status FlushSideEffects();
+
+class Waived {
+ public:
+  void Run(Env* env, TraceRecorder* recorder) {
+    // lint: atomic-order(single-threaded test harness; ordering is moot)
+    hits_.fetch_add(1);  // EXPECT-WAIVED: atomic-explicit-order
+    MutexLock lock(mu_);
+    // lint: blocking(fixture exercises the waiver path itself)
+    env->DeleteFile("x");  // EXPECT-WAIVED: no-blocking-under-lock
+    // lint: raw-span(fixture exercises the waiver path itself)
+    recorder->AttachThread(0);  // EXPECT-WAIVED: raii-span-pairing
+    // lint: status-discard(fire-and-forget flush; failure handled on read)
+    FlushSideEffects();  // EXPECT-WAIVED: status-must-use
+  }
+
+ private:
+  Mutex mu_;
+  std::atomic<int> hits_{0};
+  // lint: unguarded(written before the worker thread starts)
+  int warmup_ = 0;  // EXPECT-WAIVED: guarded-by-coverage
+};
+
+}  // namespace smptree
