@@ -1,0 +1,32 @@
+#include "binned/leaf_histogram.h"
+
+#include <cassert>
+
+namespace smptree {
+
+void LeafHistogram::Reset(int total_bins, int num_classes) {
+  total_bins_ = total_bins;
+  num_classes_ = num_classes;
+  counts_.assign(
+      static_cast<size_t>(total_bins) * static_cast<size_t>(num_classes), 0);
+}
+
+void LeafHistogram::Clear() { counts_.assign(counts_.size(), 0); }
+
+int64_t LeafHistogram::RowTotal(int flat_bin) const {
+  int64_t total = 0;
+  for (int64_t c : row(flat_bin)) total += c;
+  return total;
+}
+
+void LeafHistogram::Merge(const LeafHistogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+void LeafHistogram::Subtract(const LeafHistogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] -= other.counts_[i];
+}
+
+}  // namespace smptree

@@ -1,0 +1,67 @@
+// Per-leaf (bin x class) count histogram for the binned engine: the flat
+// concatenation of every attribute's bin rows (layout per Quantizer::offset),
+// each row holding num_classes int64 counts. Split evaluation sweeps these
+// rows instead of attribute-list records, and a leaf's histogram can be
+// derived from its parent's by subtracting the sibling's -- the "histogram
+// subtraction" trick that halves H-phase scan work per level: only the
+// smaller child of each split is built by scanning.
+
+#ifndef SMPTREE_BINNED_LEAF_HISTOGRAM_H_
+#define SMPTREE_BINNED_LEAF_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/records.h"
+
+namespace smptree {
+
+/// Flat (total_bins x num_classes) counts. Not thread-safe: the builder
+/// gives each instance a single writer per phase (per-thread locals during
+/// the scan, one reducer per leaf at the merge).
+class LeafHistogram {
+ public:
+  /// Sizes to `total_bins` rows of `num_classes` counts, all zero. Reuses
+  /// capacity, so pooled instances re-zero without reallocating.
+  void Reset(int total_bins, int num_classes);
+
+  /// Zeroes every count, keeping the shape.
+  void Clear();
+
+  bool empty() const { return counts_.empty(); }
+  int total_bins() const { return total_bins_; }
+  int num_classes() const { return num_classes_; }
+
+  void Add(int flat_bin, ClassLabel cls) {
+    ++counts_[static_cast<size_t>(flat_bin) * num_classes_ + cls];
+  }
+
+  int64_t count(int flat_bin, int cls) const {
+    return counts_[static_cast<size_t>(flat_bin) * num_classes_ + cls];
+  }
+
+  /// One bin's class counts.
+  std::span<const int64_t> row(int flat_bin) const {
+    return {counts_.data() + static_cast<size_t>(flat_bin) * num_classes_,
+            static_cast<size_t>(num_classes_)};
+  }
+
+  /// Tuples in one bin.
+  int64_t RowTotal(int flat_bin) const;
+
+  /// this += other. Shapes must match.
+  void Merge(const LeafHistogram& other);
+
+  /// this -= other (derive a child: parent - sibling). Shapes must match.
+  void Subtract(const LeafHistogram& other);
+
+ private:
+  int total_bins_ = 0;
+  int num_classes_ = 0;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_BINNED_LEAF_HISTOGRAM_H_

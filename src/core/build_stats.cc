@@ -68,20 +68,24 @@ std::string BuildStats::ToJson() const {
   std::string out;
   out.reserve(1024 + 160 * (levels.size() + threads.size()));
   out += StringPrintf(
-      "{\"algorithm\": \"%s\", \"num_threads\": %d, \"wall_ms\": %.3f,\n"
-      " \"e_ms\": %.3f, \"w_ms\": %.3f, \"s_ms\": %.3f, \"wait_ms\": %.3f,\n"
+      "{\"algorithm\": \"%s\", \"engine\": \"%s\", \"num_threads\": %d, "
+      "\"wall_ms\": %.3f,\n"
+      " \"e_ms\": %.3f, \"w_ms\": %.3f, \"s_ms\": %.3f, \"h_ms\": %.3f, "
+      "\"wait_ms\": %.3f,\n"
       " \"wait_share\": %.4f,\n"
       " \"barrier_waits\": %llu, \"condvar_waits\": %llu, "
       "\"attr_tasks\": %llu, \"free_queue_rounds\": %llu,\n"
-      " \"records_scanned\": %llu, \"records_split\": %llu,\n",
-      algorithm.c_str(), num_threads, Ms(wall_nanos), Ms(e_nanos), Ms(w_nanos),
-      Ms(s_nanos), Ms(wait_nanos), WaitShare(),
-      static_cast<unsigned long long>(barrier_waits),
+      " \"records_scanned\": %llu, \"records_split\": %llu, "
+      "\"bins_scanned\": %llu,\n",
+      algorithm.c_str(), engine.c_str(), num_threads, Ms(wall_nanos),
+      Ms(e_nanos), Ms(w_nanos), Ms(s_nanos), Ms(h_nanos), Ms(wait_nanos),
+      WaitShare(), static_cast<unsigned long long>(barrier_waits),
       static_cast<unsigned long long>(condvar_waits),
       static_cast<unsigned long long>(attr_tasks),
       static_cast<unsigned long long>(free_queue_rounds),
       static_cast<unsigned long long>(records_scanned),
-      static_cast<unsigned long long>(records_split));
+      static_cast<unsigned long long>(records_split),
+      static_cast<unsigned long long>(bins_scanned));
   out += " \"levels\": [";
   for (size_t i = 0; i < levels.size(); ++i) {
     out += StringPrintf(
@@ -115,6 +119,7 @@ BuildStats MakeBuildStats(const std::string& algorithm, int num_threads,
   stats.e_nanos = counters.e_nanos.load(std::memory_order_relaxed);
   stats.w_nanos = counters.w_nanos.load(std::memory_order_relaxed);
   stats.s_nanos = counters.s_nanos.load(std::memory_order_relaxed);
+  stats.h_nanos = counters.h_nanos.load(std::memory_order_relaxed);
   stats.wait_nanos = counters.wait_nanos.load(std::memory_order_relaxed);
   stats.barrier_waits = counters.barrier_waits.load(std::memory_order_relaxed);
   stats.condvar_waits = counters.condvar_waits.load(std::memory_order_relaxed);
@@ -124,6 +129,7 @@ BuildStats MakeBuildStats(const std::string& algorithm, int num_threads,
   stats.records_scanned =
       counters.records_scanned.load(std::memory_order_relaxed);
   stats.records_split = counters.records_split.load(std::memory_order_relaxed);
+  stats.bins_scanned = counters.bins_scanned.load(std::memory_order_relaxed);
   stats.levels = std::move(levels);
   if (trace != nullptr) {
     const int n = trace->num_threads();

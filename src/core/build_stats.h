@@ -34,13 +34,19 @@ struct ThreadBuildStats {
 /// is filled only when the build was traced.
 struct BuildStats {
   std::string algorithm;
+  /// Training engine kind ("sorted" / "binned", EngineName); set by the
+  /// classifier facade so /statz and --stats-out can tell the exact and
+  /// histogram engines apart.
+  std::string engine = "sorted";
   int num_threads = 1;
   uint64_t wall_nanos = 0;  ///< build wall time (one clock, not per-thread)
 
-  // Compute-only per-phase time summed across threads.
+  // Compute-only per-phase time summed across threads (H is the binned
+  // engine's histogram-construction phase; 0 for the sorted engine).
   uint64_t e_nanos = 0;
   uint64_t w_nanos = 0;
   uint64_t s_nanos = 0;
+  uint64_t h_nanos = 0;
   // Blocked time summed across threads, and its event counts.
   uint64_t wait_nanos = 0;
   uint64_t barrier_waits = 0;
@@ -50,6 +56,9 @@ struct BuildStats {
   uint64_t free_queue_rounds = 0;
   uint64_t records_scanned = 0;
   uint64_t records_split = 0;
+  /// Bin boundaries examined by the binned E phase (the O(bins) work unit);
+  /// always 0 for the sorted engine.
+  uint64_t bins_scanned = 0;
 
   /// Frontier shape per level (leaves processed, records held).
   std::vector<LevelTraceEntry> levels;

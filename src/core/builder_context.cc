@@ -30,6 +30,16 @@ const char* AlgorithmName(Algorithm algorithm) {
   return "?";
 }
 
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kSorted:
+      return "sorted";
+    case Engine::kBinned:
+      return "binned";
+  }
+  return "?";
+}
+
 bool FeatureSampling::Allows(NodeId node, int attr, int num_attrs) const {
   if (!active(num_attrs)) return true;
   // Partial Fisher-Yates over the attribute indices, seeded per node:
@@ -66,6 +76,11 @@ Status BuildOptions::Validate() const {
         "ablation");
   }
   if (window < 1) return Status::InvalidArgument("window < 1");
+  if (max_bins < 2 || max_bins > 256) {
+    // Bins are uint8_t codes in the materialized matrix; 2 is the smallest
+    // budget that admits any split.
+    return Status::InvalidArgument("max_bins outside [2,256]");
+  }
   if (min_split < 1) return Status::InvalidArgument("min_split < 1");
   if (max_levels < 0) return Status::InvalidArgument("max_levels < 0");
   if (sort_threads < 1) return Status::InvalidArgument("sort_threads < 1");

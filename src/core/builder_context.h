@@ -51,6 +51,19 @@ enum class Algorithm : unsigned char {
 
 const char* AlgorithmName(Algorithm algorithm);
 
+/// Training-engine selector: the SPRINT sorted-attribute-list machinery
+/// (everything in Algorithm) or the binned engine (src/binned/), which
+/// quantizes continuous attributes into at most BuildOptions::max_bins bins
+/// once at load and evaluates splits over per-leaf histograms in O(bins)
+/// per attribute instead of O(records).
+enum class Engine : unsigned char {
+  kSorted,  ///< exact sorted attribute lists (paper sections 2-3)
+  kBinned,  ///< quantized per-leaf histograms with sibling subtraction
+};
+
+/// Returns "sorted" / "binned".
+const char* EngineName(Engine engine);
+
 /// One tree level's working-set shape: how many unfinalized leaves the
 /// builders processed at that depth and how many attribute-list records
 /// (per attribute) they held. The per-level record volume decays as pure
@@ -84,6 +97,17 @@ struct FeatureSampling {
 /// Everything configurable about a build.
 struct BuildOptions {
   Algorithm algorithm = Algorithm::kSerial;
+  /// Training engine. kSorted runs `algorithm`; kBinned runs the breadth-
+  /// first histogram builder of src/binned/ (which has one parallel scheme
+  /// of its own and ignores `algorithm`/`window`/storage options). The
+  /// binned engine is approximate: split thresholds come from the quantized
+  /// bin boundaries, so accuracy deltas vs kSorted are measured and
+  /// reported (bench/binned_vs_sorted), never hidden.
+  Engine engine = Engine::kSorted;
+  /// Bin budget per attribute for the binned engine (bins are uint8_t, so
+  /// at most 256). Categorical attributes use one bin per value code and
+  /// must fit the budget.
+  int max_bins = 256;
   int num_threads = 1;
   /// Window size K for FWK/MWK (the paper finds 4 works well). Also the
   /// per-group window when SUBTREE runs with the MWK subroutine.

@@ -1,5 +1,7 @@
 #include "core/classifier.h"
 
+#include "binned/binned_builder.h"
+#include "binned/quantizer.h"
 #include "core/serial_builder.h"
 #include "parallel/basic_builder.h"
 #include "parallel/fwk_builder.h"
@@ -30,6 +32,79 @@ Status RunBuild(BuildContext* ctx, std::vector<LeafTask> level) {
   return Status::InvalidArgument("unknown algorithm");
 }
 
+// Folds the quiescent counters into the stats. Relaxed loads: the builder's
+// thread team has joined by this point, so the join orders every counter
+// update before these reads.
+void FoldCounters(const BuildCounters& counters, TrainStats* stats) {
+  stats->barrier_waits =
+      counters.barrier_waits.load(std::memory_order_relaxed);
+  stats->condvar_waits =
+      counters.condvar_waits.load(std::memory_order_relaxed);
+  stats->attr_tasks = counters.attr_tasks.load(std::memory_order_relaxed);
+  stats->free_queue_rounds =
+      counters.free_queue_rounds.load(std::memory_order_relaxed);
+  stats->wait_seconds =
+      static_cast<double>(counters.wait_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
+  stats->e_phase_seconds =
+      static_cast<double>(counters.e_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
+  stats->w_phase_seconds =
+      static_cast<double>(counters.w_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
+  stats->s_phase_seconds =
+      static_cast<double>(counters.s_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
+  stats->h_phase_seconds =
+      static_cast<double>(counters.h_nanos.load(
+          std::memory_order_relaxed)) / 1e9;
+}
+
+// The binned-engine path: quantize, materialize the bin matrix, grow the
+// tree breadth-first over per-leaf histograms. No attribute lists, no
+// scratch files -- records_read/written stay 0.
+Result<TrainResult> TrainBinnedClassifier(const Dataset& data,
+                                          const ClassifierOptions& options) {
+  TrainResult result;
+  result.tree = std::make_unique<DecisionTree>(data.schema());
+  BuildCounters counters;
+
+  Timer total;
+
+  // Quantization stands in for the sort phase (it sorts each continuous
+  // column once to place cuts); materialization stands in for attribute-list
+  // setup, so the Table 1 style columns stay comparable across engines.
+  Timer sort_timer;
+  Quantizer quantizer;
+  SMPTREE_RETURN_IF_ERROR(quantizer.Build(data, options.build.max_bins));
+  result.stats.sort_seconds = sort_timer.Seconds();
+  Timer setup_timer;
+  BinMatrix matrix;
+  SMPTREE_RETURN_IF_ERROR(matrix.Materialize(data, quantizer));
+  result.stats.setup_seconds = setup_timer.Seconds();
+
+  Timer build_timer;
+  SMPTREE_RETURN_IF_ERROR(
+      BuildTreeBinned(data, quantizer, matrix, options.build,
+                      result.tree.get(), &counters,
+                      &result.stats.level_trace));
+  result.stats.build_seconds = build_timer.Seconds();
+  result.stats.tree = result.tree->Stats();
+
+  Timer prune_timer;
+  result.stats.nodes_pruned = PruneTree(result.tree.get(), options.prune);
+  result.stats.prune_seconds = prune_timer.Seconds();
+
+  result.stats.total_seconds = total.Seconds();
+  FoldCounters(counters, &result.stats);
+  result.stats.build_stats = MakeBuildStats(
+      "BINNED", options.build.num_threads,
+      static_cast<uint64_t>(result.stats.build_seconds * 1e9), counters,
+      result.stats.level_trace, options.build.trace);
+  result.stats.build_stats.engine = EngineName(Engine::kBinned);
+  return result;
+}
+
 }  // namespace
 
 Result<TrainResult> TrainClassifier(const Dataset& data,
@@ -38,6 +113,9 @@ Result<TrainResult> TrainClassifier(const Dataset& data,
   SMPTREE_RETURN_IF_ERROR(data.schema().Validate());
   if (data.num_tuples() == 0) {
     return Status::InvalidArgument("empty training set");
+  }
+  if (options.build.engine == Engine::kBinned) {
+    return TrainBinnedClassifier(data, options);
   }
 
   TrainResult result;
@@ -76,28 +154,7 @@ Result<TrainResult> TrainClassifier(const Dataset& data,
   result.stats.total_seconds = total.Seconds();
   result.stats.records_read = ctx.storage()->records_read();
   result.stats.records_written = ctx.storage()->records_written();
-  // Relaxed loads: the builder's thread team has joined by this point, so
-  // the join orders every counter update before these quiescent reads.
-  result.stats.barrier_waits =
-      counters.barrier_waits.load(std::memory_order_relaxed);
-  result.stats.condvar_waits =
-      counters.condvar_waits.load(std::memory_order_relaxed);
-  result.stats.attr_tasks =
-      counters.attr_tasks.load(std::memory_order_relaxed);
-  result.stats.free_queue_rounds =
-      counters.free_queue_rounds.load(std::memory_order_relaxed);
-  result.stats.wait_seconds =
-      static_cast<double>(counters.wait_nanos.load(
-          std::memory_order_relaxed)) / 1e9;
-  result.stats.e_phase_seconds =
-      static_cast<double>(counters.e_nanos.load(
-          std::memory_order_relaxed)) / 1e9;
-  result.stats.w_phase_seconds =
-      static_cast<double>(counters.w_nanos.load(
-          std::memory_order_relaxed)) / 1e9;
-  result.stats.s_phase_seconds =
-      static_cast<double>(counters.s_nanos.load(
-          std::memory_order_relaxed)) / 1e9;
+  FoldCounters(counters, &result.stats);
   result.stats.level_trace = ctx.LevelTrace();
   result.stats.build_stats = MakeBuildStats(
       AlgorithmName(options.build.algorithm), options.build.num_threads,

@@ -54,10 +54,12 @@ struct TrainStats {
   uint64_t free_queue_rounds = 0;
   double wait_seconds = 0.0;
 
-  // Cumulative per-phase CPU time across all threads (paper steps E/W/S).
+  // Cumulative per-phase CPU time across all threads (paper steps E/W/S,
+  // plus the binned engine's histogram phase H -- 0 for the sorted engine).
   double e_phase_seconds = 0.0;
   double w_phase_seconds = 0.0;
   double s_phase_seconds = 0.0;
+  double h_phase_seconds = 0.0;
 
   /// Frontier shape per level (leaves processed and records held).
   std::vector<LevelTraceEntry> level_trace;

@@ -33,6 +33,7 @@ BuildStats FoldBuildStats(const std::vector<TrainStats>& members,
   out.algorithm = StringPrintf(
       "FOREST(%s)",
       members.empty() ? "?" : members[0].build_stats.algorithm.c_str());
+  if (!members.empty()) out.engine = members[0].build_stats.engine;
   out.num_threads = options.num_threads;
   out.wall_nanos = wall_nanos;
   for (const TrainStats& m : members) {
@@ -40,6 +41,7 @@ BuildStats FoldBuildStats(const std::vector<TrainStats>& members,
     out.e_nanos += b.e_nanos;
     out.w_nanos += b.w_nanos;
     out.s_nanos += b.s_nanos;
+    out.h_nanos += b.h_nanos;
     out.wait_nanos += b.wait_nanos;
     out.barrier_waits += b.barrier_waits;
     out.condvar_waits += b.condvar_waits;
@@ -47,6 +49,7 @@ BuildStats FoldBuildStats(const std::vector<TrainStats>& members,
     out.free_queue_rounds += b.free_queue_rounds;
     out.records_scanned += b.records_scanned;
     out.records_split += b.records_split;
+    out.bins_scanned += b.bins_scanned;
     for (size_t lvl = 0; lvl < b.levels.size(); ++lvl) {
       if (lvl >= out.levels.size()) out.levels.resize(lvl + 1);
       out.levels[lvl].level = static_cast<int>(lvl);

@@ -45,9 +45,11 @@ void BuildCounters::Reset() {
   attr_tasks.store(0, std::memory_order_relaxed);
   free_queue_rounds.store(0, std::memory_order_relaxed);
   wait_nanos.store(0, std::memory_order_relaxed);
+  bins_scanned.store(0, std::memory_order_relaxed);
   e_nanos.store(0, std::memory_order_relaxed);
   w_nanos.store(0, std::memory_order_relaxed);
   s_nanos.store(0, std::memory_order_relaxed);
+  h_nanos.store(0, std::memory_order_relaxed);
 }
 
 std::string BuildCounters::ToString() const {
@@ -60,10 +62,12 @@ std::string BuildCounters::ToString() const {
   os << "barriers=" << get(barrier_waits) << " cv_waits=" << get(condvar_waits)
      << " scanned=" << get(records_scanned) << " split=" << get(records_split)
      << " tasks=" << get(attr_tasks) << " free_rounds=" << get(free_queue_rounds)
+     << " bins=" << get(bins_scanned)
      << " wait_ms=" << static_cast<double>(get(wait_nanos)) / 1e6
      << " e_ms=" << static_cast<double>(get(e_nanos)) / 1e6
      << " w_ms=" << static_cast<double>(get(w_nanos)) / 1e6
-     << " s_ms=" << static_cast<double>(get(s_nanos)) / 1e6;
+     << " s_ms=" << static_cast<double>(get(s_nanos)) / 1e6
+     << " h_ms=" << static_cast<double>(get(h_nanos)) / 1e6;
   return os.str();
 }
 

@@ -37,9 +37,12 @@ class RunningStat {
   double max_ = 0.0;
 };
 
-/// The three per-level build phases of the paper (evaluate splits, find
-/// winners/build probe structures, split attribute lists).
-enum class BuildPhase : unsigned char { kEvaluate, kWinner, kSplit };
+/// The per-level build phases: the paper's E/W/S (evaluate splits, find
+/// winners/build probe structures, split attribute lists) plus H, the
+/// histogram-construction step of the binned engine (src/binned/), which
+/// replaces the sorted engine's per-record E scans with per-leaf bin counts.
+enum class BuildPhase : unsigned char { kEvaluate, kWinner, kSplit,
+                                        kHistogram };
 
 /// Counters a parallel build exports for the ablation benchmarks. All fields
 /// are cumulative across threads and levels.
@@ -58,13 +61,19 @@ struct BuildCounters {
   std::atomic<uint64_t> attr_tasks{0};          ///< dynamic (leaf,attr) tasks taken.
   std::atomic<uint64_t> free_queue_rounds{0};   ///< SUBTREE FREE-queue cycles.
   std::atomic<uint64_t> wait_nanos{0};          ///< total blocked time (ns).
+  /// Bin boundaries examined by the binned engine's split evaluation. This
+  /// is the binned E-phase work unit: O(bins) per (leaf, attribute) instead
+  /// of O(records), which the scan-counter assertions in binned_builder_test
+  /// pin down. Always 0 for the sorted engine.
+  std::atomic<uint64_t> bins_scanned{0};
 
-  // Per-phase compute time across all threads (paper steps E, W, S), letting
-  // the benchmarks show e.g. how large a share of BASIC's critical path the
-  // master-only W step is.
+  // Per-phase compute time across all threads (paper steps E, W, S plus the
+  // binned engine's H), letting the benchmarks show e.g. how large a share
+  // of BASIC's critical path the master-only W step is.
   std::atomic<uint64_t> e_nanos{0};
   std::atomic<uint64_t> w_nanos{0};
   std::atomic<uint64_t> s_nanos{0};
+  std::atomic<uint64_t> h_nanos{0};
 
   /// Returns the counter for `phase`.
   std::atomic<uint64_t>& PhaseNanos(BuildPhase phase) {
@@ -72,6 +81,7 @@ struct BuildCounters {
       case BuildPhase::kEvaluate: return e_nanos;
       case BuildPhase::kWinner: return w_nanos;
       case BuildPhase::kSplit: return s_nanos;
+      case BuildPhase::kHistogram: return h_nanos;
     }
     return e_nanos;  // unreachable
   }

@@ -111,9 +111,10 @@ TEST_P(TracedBuildTest, ToJsonParsesAndCarriesKeys) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
   ASSERT_TRUE(parsed->is_object());
   for (const char* key :
-       {"algorithm", "num_threads", "wall_ms", "e_ms", "w_ms", "s_ms",
-        "wait_ms", "wait_share", "barrier_waits", "condvar_waits",
-        "records_scanned", "records_split", "levels", "threads"}) {
+       {"algorithm", "engine", "num_threads", "wall_ms", "e_ms", "w_ms",
+        "s_ms", "h_ms", "wait_ms", "wait_share", "barrier_waits",
+        "condvar_waits", "records_scanned", "records_split", "bins_scanned",
+        "levels", "threads"}) {
     EXPECT_NE(parsed->Find(key), nullptr) << "missing key " << key;
   }
   const JsonValue* threads = parsed->Find("threads");

@@ -64,6 +64,30 @@ if "$CLI" predict --schema "$DIR/schema.txt" --model "$DIR/missing.tree" \
   fail "predict accepted a missing model"
 fi
 
+# --- binned engine: train -> eval, stats carry the engine + H phase ---
+"$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --engine binned --max-bins 64 --threads 2 \
+  --model "$DIR/binned.tree" --stats-out "$DIR/binned_stats.json" \
+  > "$DIR/binned_train.out" || fail "train binned"
+grep -q "trained BINNED" "$DIR/binned_train.out" || fail "binned banner"
+grep -q "H " "$DIR/binned_train.out" || fail "binned H phase line"
+grep -q '"engine": "binned"' "$DIR/binned_stats.json" \
+  || fail "binned stats engine"
+grep -q '"bins_scanned"' "$DIR/binned_stats.json" \
+  || fail "binned stats bins_scanned"
+"$CLI" eval --schema "$DIR/schema.txt" --model "$DIR/binned.tree" \
+  --data "$DIR/data.csv" > "$DIR/binned_eval.out" || fail "eval binned"
+grep -q "accuracy: " "$DIR/binned_eval.out" || fail "binned eval accuracy"
+
+if "$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --engine warp --model "$DIR/x.tree" 2> /dev/null; then
+  fail "bad engine accepted"
+fi
+if "$CLI" train --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --engine binned --max-bins 999 --model "$DIR/x.tree" 2> /dev/null; then
+  fail "out-of-range max-bins accepted"
+fi
+
 # --- forest: train-forest -> eval (sniffed) -> predict ---
 "$CLI" train-forest --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
   --trees 5 --threads 2 --features-per-node 4 --algorithm basic \
@@ -85,6 +109,16 @@ grep -q "accuracy:" "$DIR/forest_eval.out" || fail "eval forest accuracy"
   || fail "predict forest"
 [ "$(wc -l < "$DIR/forest_pred.csv")" = "2001" ] \
   || fail "forest predict row count"
+
+# --- forest with the binned inner engine (pass-through) ---
+"$CLI" train-forest --schema "$DIR/schema.txt" --data "$DIR/data.csv" \
+  --trees 3 --threads 2 --engine binned --model "$DIR/binned.forest" \
+  > "$DIR/binned_forest.out" || fail "train-forest binned"
+grep -q "trained forest of 3 trees" "$DIR/binned_forest.out" \
+  || fail "train-forest binned banner"
+"$CLI" eval --schema "$DIR/schema.txt" --model "$DIR/binned.forest" \
+  --data "$DIR/data.csv" | grep -q "accuracy:" \
+  || fail "eval binned forest"
 
 # --- --eval on the train commands: held-out accuracy + confusion matrix ---
 "$CLI" gen --function 5 --attrs 10 --tuples 500 --seed 99 \

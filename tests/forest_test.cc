@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/tree_io.h"
 #include "data/synthetic.h"
 #include "ensemble/forest_io.h"
@@ -168,6 +170,50 @@ TEST(ForestBuilderTest, AggregateBuildStatsFoldsMembers) {
   // The fold must stay parseable by the same JSON tooling.
   EXPECT_NE(agg.ToJson().find("\"algorithm\": \"FOREST(BASIC)\""),
             std::string::npos);
+}
+
+TEST(ForestBuilderTest, BinnedEngineFlowsThroughToMembers) {
+  // ForestOptions.tree is a full ClassifierOptions, so the binned engine
+  // must reach every member and surface in the folded stats exactly like
+  // the CLI's train-forest --engine=binned path.
+  const Dataset data = TestData(1200);
+  ForestOptions options;
+  options.num_trees = 3;
+  options.num_threads = 2;
+  options.oob = true;
+  options.tree.build.engine = Engine::kBinned;
+  auto result = TrainForest(data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->stats.trees.size(), 3u);
+  for (const TrainStats& m : result->stats.trees) {
+    EXPECT_EQ(m.build_stats.engine, std::string("binned"));
+    EXPECT_GT(m.build_stats.bins_scanned, 0u);
+    EXPECT_EQ(m.records_read, 0u);  // no attribute-list files in this engine
+  }
+  const BuildStats& agg = result->stats.build_stats;
+  EXPECT_EQ(agg.engine, std::string("binned"));
+  EXPECT_GT(agg.bins_scanned, 0u);
+  EXPECT_GT(result->stats.oob_accuracy, 0.6);
+}
+
+TEST(ForestBuilderTest, BinnedForestAccuracyCloseToSortedForest) {
+  // Same seed, same member resamples: only the split engine differs. The
+  // binned forest's accuracy delta must stay small -- measured on held-out
+  // data, reported in the assertion message when it drifts.
+  const Dataset train = TestData(3000, 5, 7);
+  const Dataset test = TestData(1500, 5, 977);
+  ForestOptions sorted;
+  sorted.num_trees = 5;
+  sorted.seed = 99;
+  ForestOptions binned = sorted;
+  binned.tree.build.engine = Engine::kBinned;
+  auto a = TrainForest(train, sorted);
+  auto b = TrainForest(train, binned);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  const double delta =
+      ForestAccuracy(*b->forest, test) - ForestAccuracy(*a->forest, test);
+  EXPECT_LE(std::abs(delta), 0.02) << "forest test-accuracy delta " << delta;
 }
 
 TEST(ForestBuilderTest, TwoLevelBuildMatchesSerialForest) {

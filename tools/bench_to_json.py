@@ -19,6 +19,19 @@ Two input formats, detected automatically:
           --out forest.json
       python3 tools/bench_to_json.py forest.json -o BENCH_forest.json
 
+  * "suite": "binned_vs_sorted" JSON from bench/binned_vs_sorted
+    -> BENCH_binned.json
+      ./build/bench/binned_vs_sorted --out binned.json
+      python3 tools/bench_to_json.py binned.json -o BENCH_binned.json
+
+Validation mode schema-checks checked-in artifacts instead of converting:
+
+      python3 tools/bench_to_json.py --validate [BENCH_x.json ...]
+
+With no files it globs BENCH_*.json in the current directory. Every file
+must parse, carry its suite's required keys, and contain no NaN/Infinity
+and no null in a required numeric field; any violation is a hard failure.
+
 For the kernel suite the output is per-benchmark ns/record (derived from
 items_per_second) plus the AoS-vs-SoA / direct-vs-buffered speedup ratios.
 Benchmark family names are a contract with bench/micro_kernels.cc -- see the
@@ -236,24 +249,209 @@ def convert_forest(raw, output):
     return 0
 
 
+def convert_binned(raw, output):
+    """Passes the per-function engine comparison through (rounded) and
+    derives the headline numbers the README/EXPERIMENTS tables quote: the
+    worst-case |accuracy delta| and how many functions the binned engine's
+    build is faster on. Deltas are reported as-is, never clipped."""
+    runs = []
+    errors = []
+    for run in raw.get("runs", []):
+        try:
+            runs.append({
+                "function": run["function"],
+                "tuples": run["tuples"],
+                "sorted_build_ns_per_record":
+                    round(run["sorted_build_ns_per_record"], 1),
+                "binned_build_ns_per_record":
+                    round(run["binned_build_ns_per_record"], 1),
+                "build_speedup": round(run["build_speedup"], 3),
+                "sorted_total_ns_per_record":
+                    round(run["sorted_total_ns_per_record"], 1),
+                "binned_total_ns_per_record":
+                    round(run["binned_total_ns_per_record"], 1),
+                "sorted_train_accuracy": round(run["sorted_train_accuracy"], 6),
+                "binned_train_accuracy": round(run["binned_train_accuracy"], 6),
+                "train_accuracy_delta": round(run["train_accuracy_delta"], 6),
+                "sorted_test_accuracy": round(run["sorted_test_accuracy"], 6),
+                "binned_test_accuracy": round(run["binned_test_accuracy"], 6),
+                "test_accuracy_delta": round(run["test_accuracy_delta"], 6),
+                "sorted_nodes": run["sorted_nodes"],
+                "binned_nodes": run["binned_nodes"],
+                "bins_scanned": run["bins_scanned"],
+            })
+        except KeyError as e:
+            errors.append(f"run F{run.get('function', '?')}: missing {e}")
+
+    derived = None
+    if runs:
+        derived = {
+            "max_abs_train_accuracy_delta":
+                round(max(abs(r["train_accuracy_delta"]) for r in runs), 6),
+            "max_abs_test_accuracy_delta":
+                round(max(abs(r["test_accuracy_delta"]) for r in runs), 6),
+            "functions_build_faster":
+                sum(1 for r in runs if r["build_speedup"] > 1.0),
+            "functions_total": len(runs),
+        }
+
+    out = {
+        "schema_version": 1,
+        "suite": "binned_vs_sorted",
+        "context": raw.get("context", {}),
+        "runs": runs,
+        "derived": derived,
+    }
+    with open(output, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {output} ({len(runs)} functions)")
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not runs:
+        print("error: no runs in input", file=sys.stderr)
+        return 1
+    return 0
+
+
+# Suite name -> (required top-level keys,
+#                [(list key, required keys per item), ...]).
+VALIDATE_SCHEMAS = {
+    "core_kernels": (
+        ["schema_version", "suite", "context", "benchmarks", "derived"],
+        [("benchmarks", ["name", "ns_per_record"])],
+    ),
+    "parallel_builders": (
+        ["schema_version", "suite", "context", "series"],
+        [("series", ["function", "algorithm", "points"])],
+    ),
+    "forest_speedup": (
+        ["schema_version", "suite", "context", "series", "oob_curve"],
+        [("series", ["trees", "inner", "schedule", "points"])],
+    ),
+    "binned_vs_sorted": (
+        ["schema_version", "suite", "context", "runs", "derived"],
+        [("runs", ["function", "sorted_build_ns_per_record",
+                   "binned_build_ns_per_record", "build_speedup",
+                   "sorted_train_accuracy", "binned_train_accuracy",
+                   "train_accuracy_delta", "sorted_test_accuracy",
+                   "binned_test_accuracy", "test_accuracy_delta"])],
+    ),
+}
+
+
+def _reject_constant(value):
+    raise ValueError(f"non-finite JSON constant: {value}")
+
+
+def _find_nonfinite(node, path):
+    """json.load with parse_constant catches literal NaN tokens; this walk
+    catches floats that slipped in some other way (defense in depth)."""
+    if isinstance(node, float) and (node != node or node in
+                                    (float("inf"), float("-inf"))):
+        return [f"{path}: non-finite value {node!r}"]
+    if isinstance(node, dict):
+        return [e for k, v in node.items()
+                for e in _find_nonfinite(v, f"{path}.{k}")]
+    if isinstance(node, list):
+        return [e for i, v in enumerate(node)
+                for e in _find_nonfinite(v, f"{path}[{i}]")]
+    return []
+
+
+def validate_file(path):
+    """Returns a list of problems (empty = valid)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f, parse_constant=_reject_constant)
+    except (OSError, ValueError) as e:
+        return [f"unreadable: {e}"]
+
+    problems = _find_nonfinite(doc, "$")
+    if not isinstance(doc, dict):
+        return problems + ["top level is not an object"]
+    suite = doc.get("suite")
+    schema = VALIDATE_SCHEMAS.get(suite)
+    if schema is None:
+        return problems + [f"unknown suite {suite!r}"]
+    top_keys, list_specs = schema
+    for key in top_keys:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema_version") != 1:
+        problems.append(f"schema_version is {doc.get('schema_version')!r}, "
+                        "want 1")
+    for list_key, item_keys in list_specs:
+        items = doc.get(list_key)
+        if not isinstance(items, list) or not items:
+            problems.append(f"{list_key!r} missing, not a list, or empty")
+            continue
+        for i, item in enumerate(items):
+            for key in item_keys:
+                if not isinstance(item, dict) or key not in item:
+                    problems.append(f"{list_key}[{i}]: missing key {key!r}")
+                elif item[key] is None:
+                    problems.append(f"{list_key}[{i}].{key}: null")
+    return problems
+
+
+def run_validate(files):
+    import glob
+    if not files:
+        files = sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("error: --validate found no BENCH_*.json files",
+              file=sys.stderr)
+        return 1
+    failed = 0
+    for path in files:
+        problems = validate_file(path)
+        if problems:
+            failed += 1
+            for p in problems:
+                print(f"{path}: {p}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    if failed:
+        print(f"error: {failed}/{len(files)} artifacts invalid",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("input", help="bench JSON file ('-' = stdin)")
+    ap.add_argument("input", nargs="*",
+                    help="bench JSON file ('-' = stdin); with --validate, "
+                         "artifact files (default: glob BENCH_*.json)")
     ap.add_argument("-o", "--output", default=None,
-                    help="output path (default BENCH_core.json or "
-                         "BENCH_parallel.json by detected suite)")
+                    help="output path (default BENCH_core.json, "
+                         "BENCH_parallel.json, BENCH_forest.json, or "
+                         "BENCH_binned.json by detected suite)")
+    ap.add_argument("--validate", action="store_true",
+                    help="schema-check checked-in BENCH_*.json artifacts "
+                         "instead of converting")
     args = ap.parse_args()
 
-    if args.input == "-":
+    if args.validate:
+        return run_validate(args.input)
+
+    if len(args.input) != 1:
+        ap.error("convert mode takes exactly one input file")
+    if args.input[0] == "-":
         raw = json.load(sys.stdin)
     else:
-        with open(args.input) as f:
+        with open(args.input[0]) as f:
             raw = json.load(f)
 
     if raw.get("suite") == "parallel_builders":
         return convert_parallel(raw, args.output or "BENCH_parallel.json")
     if raw.get("suite") == "forest_speedup":
         return convert_forest(raw, args.output or "BENCH_forest.json")
+    if raw.get("suite") == "binned_vs_sorted":
+        return convert_binned(raw, args.output or "BENCH_binned.json")
     return convert_kernels(raw, args.output or "BENCH_core.json")
 
 

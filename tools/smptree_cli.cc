@@ -69,6 +69,7 @@ int Usage() {
                "         [--seed S] [--noise P] --out DATA.csv [--schema-out F]\n"
                "  train: --schema F --data F --model F [--algorithm serial|\n"
                "         basic|fwk|mwk|subtree|rec] [--threads P] [--window K]\n"
+               "         [--engine sorted|binned] [--max-bins B]\n"
                "         [--subroutine basic|mwk] [--prune none|pessimistic|cost]\n"
                "         [--env mem|disk] [--min-split N] [--max-levels N]\n"
                "         [--criterion gini|entropy]\n"
@@ -220,6 +221,14 @@ Result<ClassifierOptions> ParseTrainOptions(const Flags& flags) {
   options.build.window = static_cast<int>(window);
   options.build.min_split = min_split;
   options.build.max_levels = static_cast<int>(max_levels);
+  const std::string engine = GetFlag(flags, "engine", "sorted");
+  if (engine == "binned") {
+    options.build.engine = Engine::kBinned;
+  } else if (engine != "sorted") {
+    return Status::InvalidArgument("--engine must be sorted or binned");
+  }
+  SMPTREE_ASSIGN_OR_RETURN(int64_t max_bins, IntFlag(flags, "max-bins", 256));
+  options.build.max_bins = static_cast<int>(max_bins);
   const std::string env_name = GetFlag(flags, "env", "mem");
   if (env_name == "disk") {
     options.build.env = Env::Posix();
@@ -299,7 +308,9 @@ int RunTrain(const Flags& flags) {
       "(setup %.3f, sort %.3f, build %.3f, prune %.3f)\n"
       "tree: %lld nodes, %d levels; %lld pruned; training accuracy %.4f\n"
       "model written to %s\n",
-      AlgorithmName(options.build.algorithm),
+      options.build.engine == Engine::kBinned
+          ? "BINNED"
+          : AlgorithmName(options.build.algorithm),
       static_cast<long long>(data->num_tuples()), stats.total_seconds,
       stats.setup_seconds, stats.sort_seconds, stats.build_seconds,
       stats.prune_seconds, static_cast<long long>(result->tree->num_nodes()),
@@ -310,10 +321,10 @@ int RunTrain(const Flags& flags) {
       !stats_out.empty()) {
     std::printf(
         "phases (compute, summed over %d threads): E %.3fs, W %.3fs, "
-        "S %.3fs; blocked %.3fs (wait share %.1f%%)\n",
+        "S %.3fs, H %.3fs; blocked %.3fs (wait share %.1f%%)\n",
         options.build.num_threads, stats.e_phase_seconds,
-        stats.w_phase_seconds, stats.s_phase_seconds, stats.wait_seconds,
-        100.0 * stats.build_stats.WaitShare());
+        stats.w_phase_seconds, stats.s_phase_seconds, stats.h_phase_seconds,
+        stats.wait_seconds, 100.0 * stats.build_stats.WaitShare());
   }
   if (!trace_out.empty()) {
     s = WriteFile(trace_out, recorder.ToChromeJson());
