@@ -1,0 +1,150 @@
+#include "infer/flat_tree.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+namespace smptree {
+
+FlatTree FlatTree::Compile(const DecisionTree& tree) {
+  FlatTree flat;
+  if (tree.num_nodes() == 0) return flat;
+
+  // Pass 1: breadth-first order. order[flat_id] = arena id; flat_of maps
+  // back. Children of one internal node land adjacent, so each level is a
+  // contiguous index range and sibling lookups stay in-line.
+  const int64_t arena_nodes = tree.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(static_cast<size_t>(arena_nodes));
+  std::vector<int32_t> flat_of(static_cast<size_t>(arena_nodes), -1);
+  order.push_back(tree.root());
+  flat_of[static_cast<size_t>(tree.root())] = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const TreeNode& node = tree.node(order[i]);
+    if (node.is_leaf()) continue;
+    flat_of[static_cast<size_t>(node.left)] =
+        static_cast<int32_t>(order.size());
+    order.push_back(node.left);
+    flat_of[static_cast<size_t>(node.right)] =
+        static_cast<int32_t>(order.size());
+    order.push_back(node.right);
+  }
+
+  const size_t n = order.size();
+  flat.flags_.resize(n, 0);
+  flat.attr_.resize(n, 0);
+  flat.threshold_.resize(n, 0.0f);
+  flat.subset_.resize(n, 0);
+  flat.left_.resize(n);
+  flat.right_.resize(n);
+  flat.label_.resize(n);
+
+  // Pass 2: fill the arrays. Leaves self-link so the scorer's child-select
+  // is unconditional; the big-subset dispatch mirrors SplitTest: the big
+  // path wins whenever big_subset is set, regardless of its length.
+  for (size_t id = 0; id < n; ++id) {
+    const TreeNode& node = tree.node(order[id]);
+    flat.label_[id] = node.majority;
+    flat.levels_ = std::max(flat.levels_, node.depth + 1);
+    if (node.is_leaf()) {
+      flat.flags_[id] = kLeaf;
+      flat.left_[id] = static_cast<int32_t>(id);
+      flat.right_[id] = static_cast<int32_t>(id);
+      continue;
+    }
+    flat.attr_[id] = node.split.attr;
+    flat.left_[id] = flat_of[static_cast<size_t>(node.left)];
+    flat.right_[id] = flat_of[static_cast<size_t>(node.right)];
+    if (!node.split.categorical) {
+      flat.threshold_[id] = node.split.threshold;
+      continue;
+    }
+    flat.flags_[id] = kCategorical;
+    if (node.split.big_subset == nullptr) {
+      if ((node.split.subset >> 63) != 0) {
+        // The batch scorer tests inline masks with a clamped index
+        // (min(code, 63)), relying on bit 63 being clear so clamped
+        // out-of-range codes read a zero bit and go right. The rare mask
+        // that really contains value 63 moves to the big pool, whose path
+        // checks the range explicitly.
+        flat.flags_[id] |= kBigSubset;
+        const uint64_t offset = flat.big_words_.size();
+        flat.big_words_.push_back(node.split.subset);
+        flat.subset_[id] = (offset << 32) | 1u;
+      } else {
+        flat.subset_[id] = node.split.subset;
+      }
+    } else {
+      flat.flags_[id] |= kBigSubset;
+      const std::vector<uint64_t>& words = *node.split.big_subset;
+      const uint64_t offset = flat.big_words_.size();
+      flat.big_words_.insert(flat.big_words_.end(), words.begin(),
+                             words.end());
+      flat.subset_[id] = (offset << 32) | static_cast<uint32_t>(words.size());
+    }
+  }
+
+  // Packed hot mirrors (see flat_tree.h): meta/test/children carry the same
+  // node data the scorer's step reads, one word each. For continuous nodes
+  // `test` is the threshold's float bits zero-extended; for small subsets it
+  // is the mask itself; big-subset nodes are dispatched off the flags byte
+  // in meta before `test` is interpreted, so their slot just keeps the
+  // locator.
+  flat.meta_.resize(n);
+  flat.test_.resize(n);
+  flat.children_.resize(n);
+  for (size_t id = 0; id < n; ++id) {
+    flat.meta_[id] =
+        (static_cast<uint32_t>(flat.attr_[id]) << kMetaAttrShift) |
+        flat.flags_[id];
+    if ((flat.flags_[id] & kCategorical) != 0) {
+      flat.test_[id] = flat.subset_[id];
+    } else {
+      uint32_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(float), "float is 32-bit");
+      std::memcpy(&bits, &flat.threshold_[id], sizeof(bits));
+      flat.test_[id] = bits;
+    }
+    flat.children_[id] =
+        static_cast<uint32_t>(flat.right_[id]) |
+        (static_cast<uint64_t>(static_cast<uint32_t>(flat.left_[id])) << 32);
+  }
+  return flat;
+}
+
+size_t FlatTree::bytes() const {
+  return flags_.capacity() * sizeof(uint8_t) +
+         attr_.capacity() * sizeof(int32_t) +
+         threshold_.capacity() * sizeof(float) +
+         subset_.capacity() * sizeof(uint64_t) +
+         left_.capacity() * sizeof(int32_t) +
+         right_.capacity() * sizeof(int32_t) +
+         label_.capacity() * sizeof(ClassLabel) +
+         big_words_.capacity() * sizeof(uint64_t) +
+         meta_.capacity() * sizeof(uint32_t) +
+         test_.capacity() * sizeof(uint64_t) +
+         children_.capacity() * sizeof(uint64_t);
+}
+
+FlatForest FlatForest::Compile(const Forest& forest) {
+  FlatForest flat;
+  flat.num_classes_ = forest.schema().num_classes();
+  flat.trees_.reserve(static_cast<size_t>(forest.num_trees()));
+  for (int i = 0; i < forest.num_trees(); ++i) {
+    flat.trees_.push_back(FlatTree::Compile(forest.tree(i)));
+    flat.max_levels_ = std::max(flat.max_levels_, flat.trees_.back().levels());
+  }
+  // Same divisor Forest::Probabilities uses, so vote shares come out
+  // bit-identical.
+  flat.vote_denominator_ =
+      flat.trees_.empty() ? 1.0 : static_cast<double>(flat.trees_.size());
+  return flat;
+}
+
+size_t FlatForest::bytes() const {
+  size_t total = 0;
+  for (const FlatTree& tree : trees_) total += tree.bytes();
+  return total;
+}
+
+}  // namespace smptree

@@ -72,6 +72,9 @@ void PredictionEngine::WorkerLoop(int worker_index) {
     const ServingModelPtr model = store_->Current();
     if (options_.test_batch_hook) options_.test_batch_hook(model->epoch);
 
+    // Score the whole batch through the snapshot's flattened model: one
+    // exact-size resize per output buffer, then the scorer writes labels
+    // and probs in place -- no per-tuple row gather, no interim copies.
     const int64_t n = request->batch.num_tuples();
     request->outcome.labels.resize(static_cast<size_t>(n));
     if (model->kind == ModelKind::kForest) {
@@ -80,23 +83,16 @@ void PredictionEngine::WorkerLoop(int worker_index) {
       const int k = model->schema().num_classes();
       request->outcome.num_classes = k;
       request->outcome.probs.resize(static_cast<size_t>(n * k));
-      for (int64_t t = 0; t < n; ++t) {
-        request->batch.GatherTuple(t, &arena.row);
-        request->outcome.labels[static_cast<size_t>(t)] =
-            model->Probabilities(arena.row, &arena.probs);
-        std::copy(arena.probs.begin(), arena.probs.end(),
-                  request->outcome.probs.begin() +
-                      static_cast<std::ptrdiff_t>(t * k));
-      }
+      arena.scorer.ScoreForest(*model->flat_forest, request->batch,
+                               request->outcome.labels.data(),
+                               request->outcome.probs.data());
     } else {
-      for (int64_t t = 0; t < n; ++t) {
-        request->batch.GatherTuple(t, &arena.row);
-        request->outcome.labels[static_cast<size_t>(t)] =
-            model->tree.Classify(arena.row);
-      }
+      arena.scorer.ScoreTree(model->flat_tree, request->batch,
+                             request->outcome.labels.data());
     }
     request->outcome.model_epoch = model->epoch;
 
+    arena.batch_size.Record(static_cast<uint64_t>(n));
     arena.latency.Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
     arena.batches.fetch_add(1, std::memory_order_relaxed);
     arena.tuples.fetch_add(static_cast<uint64_t>(n),
@@ -113,10 +109,12 @@ void PredictionEngine::WorkerLoop(int worker_index) {
 EngineStats PredictionEngine::Stats() const {
   EngineStats stats;
   LatencyHistogram merged;
+  LatencyHistogram merged_sizes;
   for (const auto& arena : arenas_) {
     stats.batches += arena->batches.load(std::memory_order_relaxed);
     stats.tuples += arena->tuples.load(std::memory_order_relaxed);
     merged.Merge(arena->latency);
+    merged_sizes.Merge(arena->batch_size);
   }
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_.size();
@@ -125,6 +123,20 @@ EngineStats PredictionEngine::Stats() const {
   stats.p50_nanos = merged.QuantileNanos(0.5);
   stats.p90_nanos = merged.QuantileNanos(0.9);
   stats.p99_nanos = merged.QuantileNanos(0.99);
+  stats.batch_mean_tuples = merged_sizes.mean_nanos();
+  if (merged_sizes.count() > 0) {
+    stats.batch_p50_tuples = merged_sizes.QuantileNanos(0.5);
+    stats.batch_p99_tuples = merged_sizes.QuantileNanos(0.99);
+  }
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    stats.batch_size_buckets[static_cast<size_t>(b)] =
+        merged_sizes.bucket_count(b);
+  }
+  // Both representations of the live model; a reload between Stats calls
+  // shows up as the new model's footprint.
+  const ServingModelPtr model = store_->Current();
+  stats.model_bytes_pointer = model->pointer_bytes();
+  stats.model_bytes_flat = model->flat_bytes();
   return stats;
 }
 

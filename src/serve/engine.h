@@ -1,18 +1,23 @@
 // PredictionEngine: the scoring core of the serving subsystem. A fixed pool
 // of worker threads pops Batch requests from a bounded MPMC queue
-// (serve/work_queue.h) and walks each tuple through an immutable tree.
+// (serve/work_queue.h) and scores each whole batch through the snapshot's
+// flattened model (infer/batch_scorer.h) -- level-synchronous traversal
+// straight off the Batch columns, no per-tuple row gather, no pointer
+// chasing.
 //
 // Concurrency model (the read-side mirror of the paper's build-side
 // protocols): workers share NOTHING mutable on the hot path. Each batch
 // takes one ServingModelPtr snapshot from the ModelStore -- an O(1)
-// pointer copy -- and scores every tuple against that snapshot, so a hot
-// reload mid-batch never changes the tree under a batch and never blocks.
-// Per-worker arenas hold the row-gather scratch buffer and a private
-// latency histogram; /statz merges the histograms on demand.
+// pointer copy -- and scores every tuple against that snapshot (the flat
+// form is compiled into the snapshot at install time), so a hot reload
+// mid-batch never changes the model under a batch and never blocks.
+// Per-worker arenas hold the scorer scratch and private histograms
+// (latency + batch size); /statz merges them on demand.
 
 #ifndef SMPTREE_SERVE_ENGINE_H_
 #define SMPTREE_SERVE_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "core/records.h"
+#include "infer/batch_scorer.h"
 #include "serve/batch.h"
 #include "serve/latency_histogram.h"
 #include "serve/model_store.h"
@@ -67,6 +73,16 @@ struct EngineStats {
   uint64_t p50_nanos = 0;
   uint64_t p90_nanos = 0;
   uint64_t p99_nanos = 0;
+  /// Heap cost of the currently installed model, both representations
+  /// (pointer-linked builder form vs flattened SoA inference form).
+  size_t model_bytes_pointer = 0;
+  size_t model_bytes_flat = 0;
+  /// Batch-size distribution (tuples per scored batch): log2 buckets, so
+  /// batch_size_buckets[b] counts batches of [2^b, 2^(b+1)) tuples.
+  double batch_mean_tuples = 0.0;
+  uint64_t batch_p50_tuples = 0;
+  uint64_t batch_p99_tuples = 0;
+  std::array<uint64_t, LatencyHistogram::kBuckets> batch_size_buckets{};
 };
 
 class PredictionEngine {
@@ -113,12 +129,12 @@ class PredictionEngine {
     bool done GUARDED_BY(mu) = false;
   };
 
-  /// Per-worker arena: scratch buffers reused across rows and batches, and
-  /// the worker's private slice of the stats.
+  /// Per-worker arena: scorer scratch reused across batches, and the
+  /// worker's private slice of the stats.
   struct WorkerArena {
-    TupleValues row;               ///< row-gather scratch
-    std::vector<double> probs;     ///< per-row vote-share scratch (forests)
+    BatchScorer scorer;            ///< cursor/vote scratch (infer/)
     LatencyHistogram latency;      ///< per-batch service latency
+    LatencyHistogram batch_size;   ///< tuples per batch (log2 buckets)
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> tuples{0};
   };

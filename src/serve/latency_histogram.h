@@ -43,6 +43,14 @@ class LatencyHistogram {
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Samples in bucket `b`, i.e. values in [2^b, 2^(b+1)) (monitoring
+  /// snapshot; relaxed, like the rest of the read surface). The value unit
+  /// is whatever the caller Records -- nanoseconds for latencies, tuple
+  /// counts for the engine's batch-size histogram.
+  uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+
   double mean_nanos() const {
     const uint64_t n = count();
     return n == 0 ? 0.0

@@ -46,6 +46,38 @@ ClassLabel ServingModel::Probabilities(const TupleValues& values,
   return label;
 }
 
+namespace {
+
+/// Chunk-rounded arena bytes plus the per-node class-count vectors: the
+/// dominant heap costs of the builder representation. Vector/bookkeeping
+/// overheads are ignored, so this is a (slight) underestimate.
+size_t PointerTreeBytes(const DecisionTree& tree) {
+  constexpr int64_t kChunk = 1024;  // core/tree.h arena chunk size
+  const int64_t nodes = tree.num_nodes();
+  if (nodes == 0) return 0;
+  const int64_t chunks = (nodes + kChunk - 1) / kChunk;
+  return static_cast<size_t>(chunks * kChunk) * sizeof(TreeNode) +
+         static_cast<size_t>(nodes) *
+             static_cast<size_t>(tree.schema().num_classes()) *
+             sizeof(int64_t);
+}
+
+}  // namespace
+
+size_t ServingModel::pointer_bytes() const {
+  if (kind != ModelKind::kForest) return PointerTreeBytes(tree);
+  size_t total = 0;
+  for (int i = 0; i < forest->num_trees(); ++i) {
+    total += PointerTreeBytes(forest->tree(i));
+  }
+  return total;
+}
+
+size_t ServingModel::flat_bytes() const {
+  return kind == ModelKind::kForest ? flat_forest->bytes()
+                                    : flat_tree.bytes();
+}
+
 ModelStore::ModelStore(ServingModelPtr initial) : schema_(initial->schema()) {
   MutexLock lock(mu_);
   current_ = std::move(initial);

@@ -29,6 +29,7 @@
 
 #include "core/tree.h"
 #include "ensemble/forest.h"
+#include "infer/flat_tree.h"
 #include "util/mutex.h"
 #include "util/status.h"
 
@@ -51,18 +52,29 @@ const char* ModelKindName(ModelKind kind);
 /// `forest` and `tree` is an empty (0-node) schema carrier -- score through
 /// Classify()/Probabilities(), which dispatch on kind, instead of touching
 /// the members directly.
+///
+/// Every model also carries its flattened form (infer/flat_tree.h),
+/// compiled once here in the constructors so all install paths -- Create,
+/// Open, Install, InstallForest, Reload -- publish snapshots the engine's
+/// BatchScorer can score with no per-request compilation. The flat form is
+/// immutable alongside the rest of the snapshot, so the epoch/no-torn-votes
+/// retirement contract covers it unchanged.
 struct ServingModel {
   ModelKind kind = ModelKind::kTree;
   DecisionTree tree;
   std::optional<Forest> forest;  ///< engaged iff kind == kForest
+  FlatTree flat_tree;            ///< kTree: compiled form (empty for kForest)
+  std::optional<FlatForest> flat_forest;  ///< engaged iff kind == kForest
   int64_t epoch = 0;
   std::string source;  ///< file path the model was loaded from ("" = in-proc)
 
-  explicit ServingModel(DecisionTree t) : tree(std::move(t)) {}
+  explicit ServingModel(DecisionTree t)
+      : tree(std::move(t)), flat_tree(FlatTree::Compile(tree)) {}
   explicit ServingModel(Forest f)
       : kind(ModelKind::kForest),
         tree(f.schema()),
-        forest(std::move(f)) {}
+        forest(std::move(f)),
+        flat_forest(FlatForest::Compile(*forest)) {}
 
   const Schema& schema() const { return tree.schema(); }
   const char* kind_name() const { return ModelKindName(kind); }
@@ -88,6 +100,15 @@ struct ServingModel {
   /// forest, a one-hot vector for a single tree.
   ClassLabel Probabilities(const TupleValues& values,
                            std::vector<double>* probs) const;
+
+  /// Estimated heap bytes of the pointer-linked representation (arena
+  /// chunks rounded up, plus per-node class-count vectors) -- the /statz
+  /// "model_bytes.pointer" number.
+  size_t pointer_bytes() const;
+
+  /// Exact heap bytes of the flattened representation
+  /// ("model_bytes.flat").
+  size_t flat_bytes() const;
 };
 
 using ServingModelPtr = std::shared_ptr<const ServingModel>;

@@ -154,20 +154,37 @@ HttpResponse InferenceService::HandleStatz(const HttpRequest&) {
   const double uptime = uptime_.Seconds();
   const double tuples_per_second =
       uptime > 0 ? static_cast<double>(stats.tuples) / uptime : 0.0;
+  // Non-empty log2 buckets of the batch-size histogram, rendered as
+  // {"<lower-edge>": count, ...} so real batch shapes are observable.
+  std::string size_buckets;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    const uint64_t count = stats.batch_size_buckets[static_cast<size_t>(b)];
+    if (count == 0) continue;
+    if (!size_buckets.empty()) size_buckets += ", ";
+    size_buckets += StringPrintf(
+        "\"%llu\": %llu", static_cast<unsigned long long>(uint64_t{1} << b),
+        static_cast<unsigned long long>(count));
+  }
   HttpResponse response;
   response.body = StringPrintf(
       "{\"model_epoch\": %lld, \"model_kind\": \"%s\", \"model_trees\": %d, "
       "\"model_nodes\": %lld, "
-      "\"model_source\": %s, \"workers\": %d, \"queue_depth\": %zu, "
+      "\"model_source\": %s, "
+      "\"model_bytes\": {\"pointer\": %zu, \"flat\": %zu}, "
+      "\"workers\": %d, \"queue_depth\": %zu, "
       "\"batches\": %llu, \"tuples\": %llu, \"rejected\": %llu, "
       "\"predict_errors\": %llu, \"reloads\": %llu, "
       "\"reload_errors\": %llu, \"uptime_seconds\": %s, "
-      "\"tuples_per_second\": %s, \"latency\": "
+      "\"tuples_per_second\": %s, \"batch_tuples\": "
+      "{\"mean\": %s, \"p50\": %llu, \"p99\": %llu, \"log2_buckets\": {%s}}, "
+      "\"latency\": "
       "{\"mean_ms\": %s, \"p50_ms\": %s, \"p90_ms\": %s, \"p99_ms\": %s}}\n",
       static_cast<long long>(model->epoch), model->kind_name(),
       model->num_trees(),
       static_cast<long long>(model->total_nodes()),
-      JsonQuote(model->source).c_str(), stats.workers, stats.queue_depth,
+      JsonQuote(model->source).c_str(),
+      stats.model_bytes_pointer, stats.model_bytes_flat,
+      stats.workers, stats.queue_depth,
       static_cast<unsigned long long>(stats.batches),
       static_cast<unsigned long long>(stats.tuples),
       static_cast<unsigned long long>(stats.rejected),
@@ -178,6 +195,10 @@ HttpResponse InferenceService::HandleStatz(const HttpRequest&) {
       static_cast<unsigned long long>(
           reload_errors_.load(std::memory_order_relaxed)),
       JsonNumber(uptime).c_str(), JsonNumber(tuples_per_second).c_str(),
+      JsonNumber(stats.batch_mean_tuples).c_str(),
+      static_cast<unsigned long long>(stats.batch_p50_tuples),
+      static_cast<unsigned long long>(stats.batch_p99_tuples),
+      size_buckets.c_str(),
       JsonNumber(stats.mean_nanos / 1e6).c_str(),
       JsonNumber(static_cast<double>(stats.p50_nanos) / 1e6).c_str(),
       JsonNumber(static_cast<double>(stats.p90_nanos) / 1e6).c_str(),

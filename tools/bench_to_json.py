@@ -24,6 +24,11 @@ Two input formats, detected automatically:
       ./build/bench/binned_vs_sorted --out binned.json
       python3 tools/bench_to_json.py binned.json -o BENCH_binned.json
 
+  * "suite": "infer_throughput" JSON from bench/infer_throughput
+    -> BENCH_infer.json
+      ./build/bench/infer_throughput --out infer.json
+      python3 tools/bench_to_json.py infer.json -o BENCH_infer.json
+
 Validation mode schema-checks checked-in artifacts instead of converting:
 
       python3 tools/bench_to_json.py --validate [BENCH_x.json ...]
@@ -316,6 +321,96 @@ def convert_binned(raw, output):
     return 0
 
 
+def convert_infer(raw, output):
+    """Passes the per-function pointer-vs-flat scoring comparison through
+    (rounded) and derives the headline tallies EXPERIMENTS.md quotes: how
+    many functions clear 2x on the single tree, on the 15-member forest,
+    and on at least one of the two. Speedups are recomputed from the ns
+    columns so the artifact is internally consistent after rounding. The
+    infer_throughput bench aborts on any parity divergence, so a run that
+    produced this JSON already proved byte-identical labels and probs."""
+    runs = []
+    errors = []
+    for run in raw.get("runs", []):
+        try:
+            tree_ptr = run["tree_pointer_ns_per_tuple"]
+            tree_flat = run["tree_flat_ns_per_tuple"]
+            forest_ptr = run["forest_pointer_ns_per_tuple"]
+            forest_flat = run["forest_flat_ns_per_tuple"]
+            runs.append({
+                "function": run["function"],
+                "tuples": run["tuples"],
+                "tree_nodes": run["tree_nodes"],
+                "forest_trees": run["forest_trees"],
+                "tree_pointer_ns_per_tuple": round(tree_ptr, 2),
+                "tree_flat_ns_per_tuple": round(tree_flat, 2),
+                "tree_speedup": round(tree_ptr / tree_flat, 3),
+                "forest_pointer_ns_per_tuple": round(forest_ptr, 2),
+                "forest_flat_ns_per_tuple": round(forest_flat, 2),
+                "forest_speedup": round(forest_ptr / forest_flat, 3),
+            })
+        except KeyError as e:
+            errors.append(f"run F{run.get('function', '?')}: missing {e}")
+        except ZeroDivisionError:
+            errors.append(f"run F{run.get('function', '?')}: zero flat time")
+
+    sweep = []
+    for row in raw.get("batch_sweep", []):
+        try:
+            sweep.append({
+                "batch": row["batch"],
+                "tree_pointer_ns_per_tuple":
+                    round(row["tree_pointer_ns_per_tuple"], 2),
+                "tree_flat_ns_per_tuple":
+                    round(row["tree_flat_ns_per_tuple"], 2),
+                "forest_pointer_ns_per_tuple":
+                    round(row["forest_pointer_ns_per_tuple"], 2),
+                "forest_flat_ns_per_tuple":
+                    round(row["forest_flat_ns_per_tuple"], 2),
+            })
+        except KeyError as e:
+            errors.append(f"sweep batch {row.get('batch', '?')}: missing {e}")
+
+    derived = None
+    if runs:
+        derived = {
+            "tree_speedup_ge2_count":
+                sum(1 for r in runs if r["tree_speedup"] >= 2.0),
+            "forest_speedup_ge2_count":
+                sum(1 for r in runs if r["forest_speedup"] >= 2.0),
+            "either_speedup_ge2_count":
+                sum(1 for r in runs
+                    if r["tree_speedup"] >= 2.0 or r["forest_speedup"] >= 2.0),
+            "functions_total": len(runs),
+            "min_tree_speedup": min(r["tree_speedup"] for r in runs),
+            "max_tree_speedup": max(r["tree_speedup"] for r in runs),
+            "min_forest_speedup": min(r["forest_speedup"] for r in runs),
+            "max_forest_speedup": max(r["forest_speedup"] for r in runs),
+        }
+
+    out = {
+        "schema_version": 1,
+        "suite": "infer_throughput",
+        "context": raw.get("context", {}),
+        "runs": runs,
+        "sweep_function": raw.get("sweep_function"),
+        "batch_sweep": sweep,
+        "derived": derived,
+    }
+    with open(output, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {output} ({len(runs)} functions, {len(sweep)} sweep rows)")
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not runs:
+        print("error: no runs in input", file=sys.stderr)
+        return 1
+    return 0
+
+
 # Suite name -> (required top-level keys,
 #                [(list key, required keys per item), ...]).
 VALIDATE_SCHEMAS = {
@@ -338,6 +433,16 @@ VALIDATE_SCHEMAS = {
                    "sorted_train_accuracy", "binned_train_accuracy",
                    "train_accuracy_delta", "sorted_test_accuracy",
                    "binned_test_accuracy", "test_accuracy_delta"])],
+    ),
+    "infer_throughput": (
+        ["schema_version", "suite", "context", "runs", "batch_sweep",
+         "derived"],
+        [("runs", ["function", "tree_nodes", "tree_pointer_ns_per_tuple",
+                   "tree_flat_ns_per_tuple", "tree_speedup",
+                   "forest_pointer_ns_per_tuple", "forest_flat_ns_per_tuple",
+                   "forest_speedup"]),
+         ("batch_sweep", ["batch", "tree_pointer_ns_per_tuple",
+                          "tree_flat_ns_per_tuple"])],
     ),
 }
 
@@ -428,8 +533,9 @@ def main():
                          "artifact files (default: glob BENCH_*.json)")
     ap.add_argument("-o", "--output", default=None,
                     help="output path (default BENCH_core.json, "
-                         "BENCH_parallel.json, BENCH_forest.json, or "
-                         "BENCH_binned.json by detected suite)")
+                         "BENCH_parallel.json, BENCH_forest.json, "
+                         "BENCH_binned.json, or BENCH_infer.json by "
+                         "detected suite)")
     ap.add_argument("--validate", action="store_true",
                     help="schema-check checked-in BENCH_*.json artifacts "
                          "instead of converting")
@@ -452,6 +558,8 @@ def main():
         return convert_forest(raw, args.output or "BENCH_forest.json")
     if raw.get("suite") == "binned_vs_sorted":
         return convert_binned(raw, args.output or "BENCH_binned.json")
+    if raw.get("suite") == "infer_throughput":
+        return convert_infer(raw, args.output or "BENCH_infer.json")
     return convert_kernels(raw, args.output or "BENCH_core.json")
 
 

@@ -30,6 +30,7 @@
 
 #include "core/classifier.h"
 #include "core/dot_export.h"
+#include "serve/batch.h"
 #include "serve/model_store.h"
 #include "core/metrics.h"
 #include "core/sql_export.h"
@@ -39,6 +40,8 @@
 #include "data/synthetic.h"
 #include "ensemble/forest_builder.h"
 #include "ensemble/forest_io.h"
+#include "infer/batch_scorer.h"
+#include "infer/flat_tree.h"
 #include "util/string_util.h"
 
 namespace smptree {
@@ -253,30 +256,64 @@ Result<ClassifierOptions> ParseTrainOptions(const Flags& flags) {
   return options;
 }
 
-/// `--eval test.csv` after train/train-forest (and the `eval` subcommand):
-/// scores the model file on a held-out CSV -- accuracy + confusion matrix
-/// through core/metrics, with the model kind sniffed from the file.
-int EvalModelOnCsv(const Schema& schema, const std::string& model_path,
-                   const std::string& eval_path) {
-  SMPTREE_ASSIGN_OR_RETURN_CLI(Dataset test, ReadCsv(schema, eval_path));
-  SMPTREE_ASSIGN_OR_RETURN_CLI(bool is_forest,
-                               ModelStore::IsForestFile(model_path));
+/// Scores every tuple of `data` against the model file through the
+/// flattened inference engine -- the same compile + BatchScorer path the
+/// serving workers use, so CLI numbers and served numbers come off one
+/// code path. `*num_trees` gets the member count (1 for a tree).
+Result<std::vector<ClassLabel>> FlatScoreDataset(
+    const Schema& schema, const std::string& model_path, const Dataset& data,
+    int* num_trees) {
+  SMPTREE_ASSIGN_OR_RETURN(bool is_forest,
+                           ModelStore::IsForestFile(model_path));
+  const Batch batch = Batch::FromDataset(data, 0, data.num_tuples());
+  std::vector<ClassLabel> labels(static_cast<size_t>(data.num_tuples()));
+  BatchScorer scorer;
   if (is_forest) {
-    SMPTREE_ASSIGN_OR_RETURN_CLI(
-        Forest forest, ModelStore::LoadForestFile(schema, model_path));
-    const ConfusionMatrix cm = EvaluateForest(forest, test);
-    std::printf("eval %s (forest, %d trees): %lld tuples\n%s", eval_path.c_str(),
-                forest.num_trees(), static_cast<long long>(test.num_tuples()),
+    SMPTREE_ASSIGN_OR_RETURN(Forest forest,
+                             ModelStore::LoadForestFile(schema, model_path));
+    *num_trees = forest.num_trees();
+    scorer.ScoreForest(FlatForest::Compile(forest), batch, labels.data(),
+                       /*probs=*/nullptr);
+  } else {
+    SMPTREE_ASSIGN_OR_RETURN(DecisionTree tree,
+                             ModelStore::LoadTreeFile(schema, model_path));
+    *num_trees = 1;
+    scorer.ScoreTree(FlatTree::Compile(tree), batch, labels.data());
+  }
+  return labels;
+}
+
+/// `--eval test.csv` after train/train-forest (and the `eval` subcommand):
+/// scores the model file on a labelled CSV -- accuracy + confusion matrix
+/// through core/metrics, with the model kind sniffed from the file and the
+/// scoring done by the flattened batch path.
+int EvalModelOnData(const Schema& schema, const std::string& model_path,
+                    const Dataset& test, const std::string& display_name) {
+  int num_trees = 0;
+  SMPTREE_ASSIGN_OR_RETURN_CLI(
+      std::vector<ClassLabel> labels,
+      FlatScoreDataset(schema, model_path, test, &num_trees));
+  ConfusionMatrix cm(schema.num_classes());
+  for (int64_t t = 0; t < test.num_tuples(); ++t) {
+    cm.Add(test.label(t), labels[static_cast<size_t>(t)]);
+  }
+  if (num_trees > 1) {
+    std::printf("eval %s (forest, %d trees): %lld tuples\n%s",
+                display_name.c_str(), num_trees,
+                static_cast<long long>(test.num_tuples()),
                 cm.ToString(schema).c_str());
   } else {
-    SMPTREE_ASSIGN_OR_RETURN_CLI(
-        DecisionTree tree, ModelStore::LoadTreeFile(schema, model_path));
-    const ConfusionMatrix cm = EvaluateTree(tree, test);
-    std::printf("eval %s (tree): %lld tuples\n%s", eval_path.c_str(),
+    std::printf("eval %s (tree): %lld tuples\n%s", display_name.c_str(),
                 static_cast<long long>(test.num_tuples()),
                 cm.ToString(schema).c_str());
   }
   return 0;
+}
+
+int EvalModelOnCsv(const Schema& schema, const std::string& model_path,
+                   const std::string& eval_path) {
+  SMPTREE_ASSIGN_OR_RETURN_CLI(Dataset test, ReadCsv(schema, eval_path));
+  return EvalModelOnData(schema, model_path, test, eval_path);
 }
 
 int RunTrain(const Flags& flags) {
@@ -433,25 +470,7 @@ int RunEval(const Flags& flags) {
   if (!data.ok()) return Fail(data.status().ToString());
   const std::string model_path = GetFlag(flags, "model");
   if (model_path.empty()) return Fail("eval needs --model");
-  SMPTREE_ASSIGN_OR_RETURN_CLI(bool is_forest,
-                               ModelStore::IsForestFile(model_path));
-  if (is_forest) {
-    SMPTREE_ASSIGN_OR_RETURN_CLI(
-        Forest forest, ModelStore::LoadForestFile(data->schema(), model_path));
-    const ConfusionMatrix cm = EvaluateForest(forest, *data);
-    std::printf("eval %s (forest, %d trees): %lld tuples\n%s",
-                model_path.c_str(), forest.num_trees(),
-                static_cast<long long>(data->num_tuples()),
-                cm.ToString(data->schema()).c_str());
-    return 0;
-  }
-  auto tree = LoadModel(flags, data->schema());
-  if (!tree.ok()) return Fail(tree.status().ToString());
-  const ConfusionMatrix cm = EvaluateTree(*tree, *data);
-  std::printf("eval %s (tree): %lld tuples\n%s", model_path.c_str(),
-              static_cast<long long>(data->num_tuples()),
-              cm.ToString(data->schema()).c_str());
-  return 0;
+  return EvalModelOnData(data->schema(), model_path, *data, model_path);
 }
 
 int RunShow(const Flags& flags) {
@@ -477,31 +496,23 @@ int RunShow(const Flags& flags) {
 
 int RunPredict(const Flags& flags) {
   // Scores a CSV with the model and writes one predicted class name per
-  // line. Loads the model through ModelStore::LoadTreeFile -- the same
-  // validated load path the inference server uses -- so a model that
-  // serves is exactly a model this subcommand accepts, and vice versa.
-  // The input uses the standard CSV layout; its label column is ignored.
+  // line. Loads the model through ModelStore (the same validated load path
+  // the inference server uses) and scores it through the same flattened
+  // BatchScorer the serving workers run, so a model that serves is exactly
+  // a model this subcommand accepts and predicts identically. The input
+  // uses the standard CSV layout; its label column is ignored.
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status().ToString());
   const std::string model_path = GetFlag(flags, "model");
   if (model_path.empty()) return Fail("predict needs --model");
-  SMPTREE_ASSIGN_OR_RETURN_CLI(bool is_forest,
-                               ModelStore::IsForestFile(model_path));
-  Result<DecisionTree> tree = Status::NotFound("unused");
-  Result<Forest> forest = Status::NotFound("unused");
-  if (is_forest) {
-    forest = ModelStore::LoadForestFile(data->schema(), model_path);
-    if (!forest.ok()) return Fail(forest.status().ToString());
-  } else {
-    tree = ModelStore::LoadTreeFile(data->schema(), model_path);
-    if (!tree.ok()) return Fail(tree.status().ToString());
-  }
+  int num_trees = 0;
+  SMPTREE_ASSIGN_OR_RETURN_CLI(
+      std::vector<ClassLabel> labels,
+      FlatScoreDataset(data->schema(), model_path, *data, &num_trees));
 
   std::string out = "class\n";
   for (int64_t t = 0; t < data->num_tuples(); ++t) {
-    const ClassLabel label = is_forest ? forest->Classify(*data, t)
-                                       : tree->Classify(*data, t);
-    out += data->schema().class_name(label);
+    out += data->schema().class_name(labels[static_cast<size_t>(t)]);
     out += "\n";
   }
   const std::string out_path = GetFlag(flags, "out");

@@ -1,22 +1,41 @@
-// smptree_loadgen: closed-loop load generator and swiss-army HTTP client
-// for the inference server.
+// smptree_loadgen: load generator and swiss-army HTTP client for the
+// inference server.
 //
 //   smptree_loadgen --port N --op predict --schema F --data F
 //                   [--batch 32] [--concurrency 4] [--requests 200]
+//                   [--rate R] [--timeout-ms T]
 //                   [--model F]    # verify labels against the local model
 //   smptree_loadgen --port N --op reload --model PATH
 //   smptree_loadgen --port N --op healthz|statz
 //
 // predict: `concurrency` client threads each hold one keep-alive
 // connection and replay batches of CSV rows until `requests` requests have
-// been sent (closed loop: the next request leaves only when the previous
-// response arrived). Prints throughput and a latency histogram. With
-// --model, every response's label codes are checked against a local
-// Tree::Classify of the same rows -- the end-to-end exactness check.
-// Exit status: 0 iff every request succeeded (and verification passed).
+// been sent. Prints throughput and a latency histogram. With --model,
+// every response's label codes are checked against a local Classify of the
+// same rows -- the end-to-end exactness check.
+//
+// Two arrival disciplines:
+//   - closed loop (default): the next request leaves only when the
+//     previous response arrived. Measures service capacity, but under
+//     overload the arrival rate collapses to the service rate, so tail
+//     latency looks flat no matter how slow the server is (coordinated
+//     omission).
+//   - open loop (--rate R): request i is *scheduled* at start + i/R
+//     seconds regardless of how the server is doing, and its latency is
+//     measured from that scheduled time -- queueing delay the server
+//     causes is charged to the server. A request whose turn comes more
+//     than --timeout-ms past its schedule is counted `dropped` and never
+//     sent (the client fleet has fallen hopelessly behind); a sent request
+//     slower than --timeout-ms counts in `timeouts`. p99 under overload is
+//     honest: drops and timeouts say the offered rate exceeded capacity.
+//
+// Exit status: 0 iff every sent request succeeded (and verification
+// passed); drops/timeouts are reported but are measurement outcomes, not
+// client failures.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -46,7 +65,7 @@ int Usage() {
       stderr,
       "usage: smptree_loadgen --port N --op predict|reload|healthz|statz\n"
       "  [--host A] [--schema F] [--data F] [--batch N] [--concurrency N]\n"
-      "  [--requests N] [--model F]\n");
+      "  [--requests N] [--rate R] [--timeout-ms T] [--model F]\n");
   return 1;
 }
 
@@ -85,10 +104,17 @@ struct PredictShared {
   uint16_t port = 0;
   int64_t batch = 32;
   int64_t requests = 200;
+  // Open-loop schedule: request i is due at start + i/rate. rate 0 keeps
+  // the classic closed loop.
+  double rate = 0.0;
+  int64_t timeout_ms = 1000;
+  std::chrono::steady_clock::time_point start;
   std::atomic<int64_t> next_request{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> mismatches{0};
   std::atomic<uint64_t> tuples{0};
+  std::atomic<uint64_t> dropped{0};   ///< open loop: never sent, too stale
+  std::atomic<uint64_t> timeouts{0};  ///< open loop: sent, over timeout
   LatencyHistogram latency;
 };
 
@@ -102,9 +128,43 @@ void PredictClient(PredictShared* shared) {
     const int64_t begin = (i * count) % (n - count + 1);
     const std::string body = PredictBody(*shared->data, begin, count);
 
+    // Open loop: wait for the request's scheduled send time; if that time
+    // is already more than the timeout in the past, the fleet is hopelessly
+    // behind the offered rate -- count a drop instead of measuring a
+    // request no real client would still be waiting on.
+    std::chrono::steady_clock::time_point scheduled;
+    if (shared->rate > 0.0) {
+      scheduled = shared->start +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(i) / shared->rate));
+      const auto now = std::chrono::steady_clock::now();
+      if (now < scheduled) {
+        std::this_thread::sleep_until(scheduled);
+      } else if (now - scheduled > std::chrono::milliseconds(
+                                       shared->timeout_ms)) {
+        shared->dropped.fetch_add(1);
+        continue;
+      }
+    }
+
     Timer timer;
     auto response = conn.Call("POST", "/v1/predict", body);
-    shared->latency.Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
+    // Open loop measures from the *scheduled* time, so queueing delay the
+    // server causes is charged to it (no coordinated omission).
+    const uint64_t nanos =
+        shared->rate > 0.0
+            ? static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - scheduled)
+                      .count())
+            : static_cast<uint64_t>(timer.Seconds() * 1e9);
+    shared->latency.Record(nanos);
+    if (shared->rate > 0.0 &&
+        nanos > static_cast<uint64_t>(shared->timeout_ms) * 1000000ull) {
+      shared->timeouts.fetch_add(1);
+    }
     if (!response.ok() || response->status != 200) {
       shared->errors.fetch_add(1);
       if (!response.ok()) {
@@ -173,9 +233,14 @@ int RunPredict(const std::map<std::string, std::string>& flags,
     return get(name).empty() || ParseInt64(get(name), out);
   };
   if (!parse("batch", &shared.batch) || !parse("requests", &shared.requests) ||
-      !parse("concurrency", &concurrency) || shared.batch < 1 ||
-      shared.requests < 1 || concurrency < 1) {
+      !parse("concurrency", &concurrency) ||
+      !parse("timeout-ms", &shared.timeout_ms) || shared.batch < 1 ||
+      shared.requests < 1 || concurrency < 1 || shared.timeout_ms < 1) {
     return Fail("bad numeric flag");
+  }
+  if (!get("rate").empty() &&
+      (!ParseDouble(get("rate"), &shared.rate) || shared.rate < 0.0)) {
+    return Fail("bad --rate");
   }
 
   Result<DecisionTree> verify_tree = Status::NotFound("unused");
@@ -195,6 +260,7 @@ int RunPredict(const std::map<std::string, std::string>& flags,
   }
 
   Timer elapsed;
+  shared.start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   clients.reserve(static_cast<size_t>(concurrency));
   for (int64_t c = 0; c < concurrency; ++c) {
@@ -205,17 +271,30 @@ int RunPredict(const std::map<std::string, std::string>& flags,
 
   const uint64_t errors = shared.errors.load();
   const uint64_t mismatches = shared.mismatches.load();
+  const uint64_t dropped = shared.dropped.load();
+  const uint64_t sent = static_cast<uint64_t>(shared.requests) - dropped;
   std::printf(
       "op=predict requests=%lld concurrency=%lld batch=%lld errors=%llu "
-      "mismatches=%llu\n"
-      "elapsed=%.3fs throughput=%.1f req/s %.1f tuples/s\n"
-      "latency: %s\n%s",
+      "mismatches=%llu\n",
       static_cast<long long>(shared.requests),
       static_cast<long long>(concurrency),
       static_cast<long long>(shared.batch),
       static_cast<unsigned long long>(errors),
-      static_cast<unsigned long long>(mismatches), seconds,
-      static_cast<double>(shared.requests) / seconds,
+      static_cast<unsigned long long>(mismatches));
+  if (shared.rate > 0.0) {
+    std::printf(
+        "open-loop: offered=%.1f req/s achieved=%.1f req/s sent=%llu "
+        "dropped=%llu timeouts=%llu timeout-ms=%lld\n",
+        shared.rate, static_cast<double>(sent) / seconds,
+        static_cast<unsigned long long>(sent),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(shared.timeouts.load()),
+        static_cast<long long>(shared.timeout_ms));
+  }
+  std::printf(
+      "elapsed=%.3fs throughput=%.1f req/s %.1f tuples/s\n"
+      "latency: %s\n%s",
+      seconds, static_cast<double>(sent) / seconds,
       static_cast<double>(shared.tuples.load()) / seconds,
       shared.latency.Summary().c_str(), shared.latency.ToAscii().c_str());
   return errors == 0 && mismatches == 0 ? 0 : 1;
