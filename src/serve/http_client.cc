@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "serve/http_parser.h"
 #include "util/string_util.h"
 
 namespace smptree {
@@ -100,6 +101,7 @@ Result<HttpClientResponse> HttpClientConnection::CallOnce(
     header_end = buffer.find("\r\n\r\n");
     if (header_end != std::string::npos) break;
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;  // a signal is not a hangup
     if (n <= 0) {
       Close();
       return Status::IOError("connection closed before response headers");
@@ -148,9 +150,9 @@ Result<HttpClientResponse> HttpClientConnection::CallOnce(
         }
         content_length = static_cast<size_t>(parsed);
       } else if (name == "connection") {
-        for (char& c : value) c = static_cast<char>(std::tolower(
-            static_cast<unsigned char>(c)));
-        close_after = value == "close";
+        // Token list, not exact equality: "Keep-Alive, Upgrade" must not
+        // read as close, and "foo, close" must.
+        close_after = HeaderValueHasToken(value, "close");
       }
     }
   }
@@ -158,6 +160,7 @@ Result<HttpClientResponse> HttpClientConnection::CallOnce(
   std::string rest = buffer.substr(header_end + 4);
   while (rest.size() < content_length) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;  // a signal is not a hangup
     if (n <= 0) {
       Close();
       return Status::IOError("connection closed mid-body");

@@ -1,0 +1,213 @@
+#include "serve/http_parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace smptree {
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = StringPrintf(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n",
+      response.status, HttpStatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+bool IEqualsAscii(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HeaderValueHasToken(std::string_view value, std::string_view token) {
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string_view::npos) comma = value.size();
+    const std::string_view item =
+        TrimWhitespace(value.substr(pos, comma - pos));
+    if (IEqualsAscii(item, token)) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+namespace {
+
+/// Parses "HTTP/<major>.<minor>" (single-digit fields per RFC 7230 2.6).
+bool ParseHttpVersion(std::string_view text, int* major, int* minor) {
+  constexpr std::string_view kPrefix = "HTTP/";
+  if (text.size() != kPrefix.size() + 3 ||
+      text.substr(0, kPrefix.size()) != kPrefix) {
+    return false;
+  }
+  const char hi = text[kPrefix.size()];
+  const char lo = text[kPrefix.size() + 2];
+  if (text[kPrefix.size() + 1] != '.' || !std::isdigit(
+          static_cast<unsigned char>(hi)) ||
+      !std::isdigit(static_cast<unsigned char>(lo))) {
+    return false;
+  }
+  *major = hi - '0';
+  *minor = lo - '0';
+  return true;
+}
+
+}  // namespace
+
+HttpRequestParser::HttpRequestParser() : HttpRequestParser(Limits{}) {}
+
+HttpRequestParser::State HttpRequestParser::Feed(const char* data, size_t n) {
+  if (state_ == State::kComplete || state_ == State::kError) return state_;
+  buffer_.append(data, n);
+  return Advance();
+}
+
+HttpRequestParser::State HttpRequestParser::Advance() {
+  if (state_ == State::kReadingHeaders) {
+    const size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(431, "header block too large\n");
+      }
+      return state_;
+    }
+    if (header_end > limits_.max_header_bytes) {
+      return Fail(431, "header block too large\n");
+    }
+    const std::string head = buffer_.substr(0, header_end);
+    buffer_.erase(0, header_end + 4);
+    ParseHead(head);
+    if (state_ == State::kError) return state_;
+    state_ = State::kReadingBody;
+  }
+  if (state_ == State::kReadingBody) {
+    if (buffer_.size() < content_length_) return state_;
+    request_.body = buffer_.substr(0, content_length_);
+    buffer_.erase(0, content_length_);
+    state_ = State::kComplete;
+  }
+  return state_;
+}
+
+void HttpRequestParser::ParseHead(const std::string& head) {
+  // --- request line: METHOD SP TARGET SP HTTP/x.y ---
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    Fail(400, "malformed request line\n");
+    return;
+  }
+  if (!ParseHttpVersion(
+          std::string_view(request_line).substr(sp2 + 1),
+          &request_.version_major, &request_.version_minor)) {
+    Fail(400, "malformed HTTP version\n");
+    return;
+  }
+  request_.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    request_.query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  request_.path = std::move(target);
+
+  // Persistence default comes from the version: HTTP/1.1+ keeps the
+  // connection open, HTTP/1.0 closes it, before any Connection header.
+  const bool http10 = request_.version_major == 1 &&
+                      request_.version_minor == 0;
+  keep_alive_ = !http10;
+
+  // --- headers (only the ones the server acts on) ---
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = line.substr(0, colon);
+    const std::string value(TrimWhitespace(
+        std::string_view(line).substr(colon + 1)));
+    if (IEqualsAscii(name, "Content-Length")) {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed < 0) {
+        Fail(400, "bad Content-Length\n");
+        return;
+      }
+      if (static_cast<size_t>(parsed) > limits_.max_body_bytes) {
+        Fail(413, "body too large\n");
+        return;
+      }
+      content_length_ = static_cast<size_t>(parsed);
+    } else if (IEqualsAscii(name, "Connection")) {
+      // Token list, not exact match: "close" wins over any keep-alive
+      // token; otherwise an explicit keep-alive upgrades the 1.0 default.
+      if (HeaderValueHasToken(value, "close")) {
+        keep_alive_ = false;
+      } else if (HeaderValueHasToken(value, "keep-alive")) {
+        keep_alive_ = true;
+      }
+    } else if (IEqualsAscii(name, "Transfer-Encoding")) {
+      Fail(400, "chunked encoding not supported\n");
+      return;
+    }
+  }
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 const std::string& message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = message;
+  return state_;
+}
+
+void HttpRequestParser::Reset() {
+  request_ = HttpRequest();
+  content_length_ = 0;
+  keep_alive_ = true;
+  error_status_ = 0;
+  error_message_.clear();
+  state_ = State::kReadingHeaders;
+}
+
+}  // namespace smptree

@@ -7,27 +7,15 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
+#include "serve/epoll_server.h"
+#include "serve/http_parser.h"
 #include "util/string_util.h"
 
 namespace smptree {
-
-const char* HttpStatusText(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 408: return "Request Timeout";
-    case 413: return "Payload Too Large";
-    case 500: return "Internal Server Error";
-    case 503: return "Service Unavailable";
-    default: return "Unknown";
-  }
-}
 
 namespace {
 
@@ -46,33 +34,51 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
-std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
-  std::string out = StringPrintf(
-      "HTTP/1.1 %d %s\r\n"
-      "Content-Type: %s\r\n"
-      "Content-Length: %zu\r\n"
-      "Connection: %s\r\n"
-      "\r\n",
-      response.status, HttpStatusText(response.status),
-      response.content_type.c_str(), response.body.size(),
-      keep_alive ? "keep-alive" : "close");
-  out += response.body;
-  return out;
-}
-
-/// Case-insensitive ASCII compare for header names.
-bool IEquals(const std::string& a, const std::string& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
-  }
-  return true;
-}
-
 }  // namespace
+
+Status BindHttpListener(const HttpServer::Options& options, bool nonblocking,
+                        int* out_fd, uint16_t* out_port) {
+  const int type = SOCK_STREAM | (nonblocking ? SOCK_NONBLOCK : 0);
+  const int fd = ::socket(AF_INET, type, 0);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address " + options.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::IOError(
+        StringPrintf("bind %s:%d: %s", options.bind_address.c_str(),
+                     options.port, std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, options.backlog) != 0) {
+    const Status s =
+        Status::IOError(StringPrintf("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status s =
+        Status::IOError(StringPrintf("getsockname: %s", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  *out_fd = fd;
+  *out_port = ntohs(bound.sin_port);
+  return Status::OK();
+}
 
 HttpServer::HttpServer(Options options)
     : options_(std::move(options)),
@@ -89,45 +95,17 @@ void HttpServer::Route(const std::string& method, const std::string& path,
 }
 
 Status HttpServer::Start() {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(StringPrintf("socket: %s", std::strerror(errno)));
+  if (options_.front_end == FrontEnd::kEpoll) {
+    epoll_ = std::make_unique<EpollServer>(
+        options_, [this](const HttpRequest& r) { return Dispatch(r); });
+    const Status s = epoll_->Start();
+    if (!s.ok()) epoll_.reset();
+    return s;
   }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad bind address " +
-                                   options_.bind_address);
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status s = Status::IOError(
-        StringPrintf("bind %s:%d: %s", options_.bind_address.c_str(),
-                     options_.port, std::strerror(errno)));
-    ::close(fd);
-    return s;
-  }
-  if (::listen(fd, options_.backlog) != 0) {
-    const Status s =
-        Status::IOError(StringPrintf("listen: %s", std::strerror(errno)));
-    ::close(fd);
-    return s;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    const Status s =
-        Status::IOError(StringPrintf("getsockname: %s", std::strerror(errno)));
-    ::close(fd);
-    return s;
-  }
-  bound_port_ = ntohs(bound.sin_port);
-
+  int fd = -1;
+  SMPTREE_RETURN_IF_ERROR(
+      BindHttpListener(options_, /*nonblocking=*/false, &fd, &bound_port_));
   listen_fd_.store(fd, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   threads_.emplace_back([this] { AcceptLoop(); });
@@ -137,7 +115,21 @@ Status HttpServer::Start() {
   return Status::OK();
 }
 
+uint16_t HttpServer::port() const {
+  return epoll_ != nullptr ? epoll_->port() : bound_port_;
+}
+
+bool HttpServer::running() const {
+  return epoll_ != nullptr ? epoll_->running()
+                           : running_.load(std::memory_order_acquire);
+}
+
 void HttpServer::Stop() {
+  if (epoll_ != nullptr) {
+    epoll_->Stop();
+    epoll_.reset();
+    return;
+  }
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     // Never started or already stopped; still join any leftover threads.
   } else {
@@ -162,6 +154,23 @@ void HttpServer::Stop() {
   threads_.clear();
 }
 
+FrontEndStats HttpServer::Stats() const {
+  if (epoll_ != nullptr) return epoll_->Stats();
+  FrontEndStats stats;
+  stats.front_end = "threaded";
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.pipelined_requests =
+      pipelined_requests_.load(std::memory_order_relaxed);
+  stats.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(conns_mu_);
+    stats.open_connections = active_fds_.size();
+  }
+  return stats;
+}
+
 void HttpServer::AcceptLoop() {
   for (;;) {
     const int listen_fd = listen_fd_.load(std::memory_order_acquire);
@@ -179,6 +188,7 @@ void HttpServer::AcceptLoop() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
     if (!pending_connections_.Push(fd)) {
       ::close(fd);  // queue closed: shutting down
       return;
@@ -211,102 +221,47 @@ void HttpServer::UnregisterConnection(int fd) {
 }
 
 void HttpServer::ServeConnection(int fd) {
-  std::string buffer;  // bytes read but not yet consumed
+  HttpRequestParser parser(HttpRequestParser::Limits{
+      options_.max_header_bytes, options_.max_body_bytes});
   char chunk[8192];
   while (running_.load(std::memory_order_acquire)) {
-    // --- read until the blank line ending the header block ---
-    size_t header_end = std::string::npos;
-    for (;;) {
-      header_end = buffer.find("\r\n\r\n");
-      if (header_end != std::string::npos) break;
-      if (buffer.size() > 64u * 1024) return;  // header flood
+    // Advance on buffered bytes first: pipelined requests that arrived
+    // with the previous one are served without another recv.
+    HttpRequestParser::State state = parser.Advance();
+    const bool pipelined = state == HttpRequestParser::State::kComplete;
+    while (state == HttpRequestParser::State::kReadingHeaders ||
+           state == HttpRequestParser::State::kReadingBody) {
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) return;  // close, timeout, or error
-      buffer.append(chunk, static_cast<size_t>(n));
-    }
-    const std::string head = buffer.substr(0, header_end);
-    buffer.erase(0, header_end + 4);
-
-    // --- request line ---
-    HttpRequest request;
-    const size_t line_end = head.find("\r\n");
-    const std::string request_line =
-        line_end == std::string::npos ? head : head.substr(0, line_end);
-    {
-      const size_t sp1 = request_line.find(' ');
-      const size_t sp2 =
-          sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
-      if (sp2 == std::string::npos) {
-        SendAll(fd, RenderResponse(
-                        {400, "text/plain", "malformed request line\n"},
-                        false));
-        return;
-      }
-      request.method = request_line.substr(0, sp1);
-      std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-      const size_t qmark = target.find('?');
-      if (qmark != std::string::npos) {
-        request.query = target.substr(qmark + 1);
-        target.resize(qmark);
-      }
-      request.path = std::move(target);
-    }
-
-    // --- headers (only the ones the server acts on) ---
-    size_t content_length = 0;
-    bool keep_alive = true;  // HTTP/1.1 default
-    {
-      size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
-      while (pos < head.size()) {
-        size_t eol = head.find("\r\n", pos);
-        if (eol == std::string::npos) eol = head.size();
-        const std::string line = head.substr(pos, eol - pos);
-        pos = eol + 2;
-        const size_t colon = line.find(':');
-        if (colon == std::string::npos) continue;
-        std::string name = line.substr(0, colon);
-        std::string value = line.substr(colon + 1);
-        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
-          value.erase(value.begin());
+      if (n < 0 && errno == EINTR) continue;  // a signal is not a hangup
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+            parser.buffered_bytes() == 0 &&
+            state == HttpRequestParser::State::kReadingHeaders) {
+          // Idle keep-alive connection hit SO_RCVTIMEO between requests.
+          idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
         }
-        if (IEquals(name, "Content-Length")) {
-          int64_t parsed = 0;
-          if (!ParseInt64(value, &parsed) || parsed < 0) {
-            SendAll(fd, RenderResponse(
-                            {400, "text/plain", "bad Content-Length\n"},
-                            false));
-            return;
-          }
-          content_length = static_cast<size_t>(parsed);
-        } else if (IEquals(name, "Connection")) {
-          if (IEquals(value, "close")) keep_alive = false;
-        } else if (IEquals(name, "Transfer-Encoding")) {
-          SendAll(fd,
-                  RenderResponse({400, "text/plain",
-                                  "chunked encoding not supported\n"},
-                                 false));
-          return;
-        }
+        return;  // close, timeout, or error
       }
+      state = parser.Feed(chunk, static_cast<size_t>(n));
     }
-    if (content_length > options_.max_body_bytes) {
-      SendAll(fd, RenderResponse({413, "text/plain", "body too large\n"},
-                                 false));
+    if (state == HttpRequestParser::State::kError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, RenderHttpResponse({parser.error_status(), "text/plain",
+                                      parser.error_message(),
+                                      {}},
+                                     false));
       return;
     }
-
-    // --- body ---
-    while (buffer.size() < content_length) {
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) return;
-      buffer.append(chunk, static_cast<size_t>(n));
+    const bool keep_alive = parser.keep_alive();
+    const HttpRequest request = std::move(parser.request());
+    parser.Reset();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (pipelined) {
+      pipelined_requests_.fetch_add(1, std::memory_order_relaxed);
     }
-    request.body = buffer.substr(0, content_length);
-    buffer.erase(0, content_length);
 
-    // --- dispatch and respond ---
     const HttpResponse response = Dispatch(request);
-    if (!SendAll(fd, RenderResponse(response, keep_alive))) return;
+    if (!SendAll(fd, RenderHttpResponse(response, keep_alive))) return;
     if (!keep_alive) return;
   }
 }
@@ -314,13 +269,21 @@ void HttpServer::ServeConnection(int fd) {
 HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
   const auto it = routes_.find({request.method, request.path});
   if (it != routes_.end()) return it->second(request);
-  // Distinguish wrong-method from unknown path for usable client errors.
+  // Distinguish wrong-method from unknown path for usable client errors;
+  // a 405 must name the methods that would work (RFC 7231 6.5.5).
+  std::string allow;
   for (const auto& [key, handler] : routes_) {
     if (key.second == request.path) {
-      return {405, "text/plain", "method not allowed\n"};
+      if (!allow.empty()) allow += ", ";
+      allow += key.first;
     }
   }
-  return {404, "text/plain", "no such endpoint\n"};
+  if (!allow.empty()) {
+    HttpResponse response{405, "text/plain", "method not allowed\n", {}};
+    response.extra_headers.emplace_back("Allow", allow);
+    return response;
+  }
+  return {404, "text/plain", "no such endpoint\n", {}};
 }
 
 }  // namespace smptree

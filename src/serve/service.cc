@@ -150,6 +150,7 @@ HttpResponse InferenceService::HandleHealthz(const HttpRequest&) {
 
 HttpResponse InferenceService::HandleStatz(const HttpRequest&) {
   const EngineStats stats = engine_.Stats();
+  const FrontEndStats http = http_.Stats();
   const ServingModelPtr model = store_->Current();
   const double uptime = uptime_.Seconds();
   const double tuples_per_second =
@@ -203,6 +204,23 @@ HttpResponse InferenceService::HandleStatz(const HttpRequest&) {
       JsonNumber(static_cast<double>(stats.p50_nanos) / 1e6).c_str(),
       JsonNumber(static_cast<double>(stats.p90_nanos) / 1e6).c_str(),
       JsonNumber(static_cast<double>(stats.p99_nanos) / 1e6).c_str());
+  // Connection-path counters from whichever front end is serving; spliced
+  // in as an "http" member before the outer closing brace (the body above
+  // always ends "}}\n").
+  const std::string http_json = StringPrintf(
+      ", \"http\": {\"front_end\": \"%s\", \"open_connections\": %llu, "
+      "\"accepted\": %llu, \"requests\": %llu, "
+      "\"pipelined_requests\": %llu, \"backpressure_stalls\": %llu, "
+      "\"idle_timeouts\": %llu, \"protocol_errors\": %llu}",
+      http.front_end,
+      static_cast<unsigned long long>(http.open_connections),
+      static_cast<unsigned long long>(http.accepted),
+      static_cast<unsigned long long>(http.requests),
+      static_cast<unsigned long long>(http.pipelined_requests),
+      static_cast<unsigned long long>(http.backpressure_stalls),
+      static_cast<unsigned long long>(http.idle_timeouts),
+      static_cast<unsigned long long>(http.protocol_errors));
+  response.body.insert(response.body.rfind("}\n"), http_json);
   if (!options_.build_stats_json.empty()) {
     // Splice the training-run BuildStats in as a "build" member before the
     // outer closing brace (the body above always ends "}}\n").

@@ -1,0 +1,251 @@
+// Unit tests for the incremental HTTP request parser shared by both
+// serving front ends. The parser is where all protocol decisions live
+// (persistence defaults, Connection token lists, size limits), so these
+// tests pin the wire-level contract without opening a socket.
+
+#include "serve/http_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace smptree {
+namespace {
+
+using State = HttpRequestParser::State;
+
+State FeedAll(HttpRequestParser* parser, const std::string& bytes) {
+  return parser->Feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpParserTest, SimpleGetCompletes) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/healthz");
+  EXPECT_EQ(parser.request().query, "");
+  EXPECT_EQ(parser.request().version_major, 1);
+  EXPECT_EQ(parser.request().version_minor, 1);
+  EXPECT_TRUE(parser.keep_alive());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParserTest, PostBodyAndQuerySplit) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /v1/predict?debug=1&v=2 HTTP/1.1\r\n"
+                    "Content-Length: 4\r\n\r\nabcd"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().path, "/v1/predict");
+  EXPECT_EQ(parser.request().query, "debug=1&v=2");
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpParserTest, ByteAtATimeTrickle) {
+  // Every recv() boundary in the middle of the request line, a header
+  // name, the CRLFCRLF, and the body must leave the state machine intact.
+  const std::string wire =
+      "POST /v1/predict HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz";
+  HttpRequestParser parser;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    const State state = parser.Feed(&wire[i], 1);
+    if (i + 1 < wire.size()) {
+      ASSERT_NE(state, State::kComplete) << "completed early at byte " << i;
+      ASSERT_NE(state, State::kError) << "failed at byte " << i;
+    } else {
+      ASSERT_EQ(state, State::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.request().body, "xyz");
+}
+
+TEST(HttpParserTest, PipelinedRequestsInOneFeed) {
+  // Two requests in one TCP segment: the first completes, Reset() keeps
+  // the remainder, and Advance() completes the second without new bytes.
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+                    "GET /b HTTP/1.1\r\n\r\n"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().path, "/a");
+  EXPECT_EQ(parser.request().body, "hi");
+  EXPECT_GT(parser.buffered_bytes(), 0u);
+
+  parser.Reset();
+  ASSERT_EQ(parser.Advance(), State::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+  EXPECT_EQ(parser.request().body, "");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+
+  parser.Reset();
+  EXPECT_EQ(parser.Advance(), State::kReadingHeaders);
+}
+
+TEST(HttpParserTest, Http11DefaultsToKeepAlive) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\n\r\n"), State::kComplete);
+  EXPECT_TRUE(parser.keep_alive());
+}
+
+TEST(HttpParserTest, Http11CloseToken) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            State::kComplete);
+  EXPECT_FALSE(parser.keep_alive());
+}
+
+TEST(HttpParserTest, Http10DefaultsToClose) {
+  // RFC 7230 6.3: absent a keep-alive token, HTTP/1.0 is one-shot.
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/1.0\r\nHost: x\r\n\r\n"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().version_minor, 0);
+  EXPECT_FALSE(parser.keep_alive());
+}
+
+TEST(HttpParserTest, Http10KeepAliveTokenUpgrades) {
+  HttpRequestParser parser;
+  ASSERT_EQ(
+      FeedAll(&parser, "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"),
+      State::kComplete);
+  EXPECT_TRUE(parser.keep_alive());
+}
+
+TEST(HttpParserTest, ConnectionHeaderIsTokenList) {
+  // "Keep-Alive, Upgrade" negotiates keep-alive even though the value is
+  // not an exact-match "keep-alive"; header name case is irrelevant too.
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "GET / HTTP/1.0\r\n"
+                    "CONNECTION: Keep-Alive, Upgrade\r\n\r\n"),
+            State::kComplete);
+  EXPECT_TRUE(parser.keep_alive());
+}
+
+TEST(HttpParserTest, CloseTokenWinsOverKeepAlive) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "GET / HTTP/1.1\r\n"
+                    "Connection: keep-alive, close\r\n\r\n"),
+            State::kComplete);
+  EXPECT_FALSE(parser.keep_alive());
+}
+
+TEST(HttpParserTest, MalformedRequestLine) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET/nospaces\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, MalformedVersion) {
+  for (const char* version : {"HTTP/11", "HTTP/1.x", "SPDY/1.1", "HTTP/1.11"}) {
+    HttpRequestParser parser;
+    ASSERT_EQ(FeedAll(&parser,
+                      std::string("GET / ") + version + "\r\n\r\n"),
+              State::kError)
+        << version;
+    EXPECT_EQ(parser.error_status(), 400) << version;
+  }
+}
+
+TEST(HttpParserTest, BadContentLength) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+
+  HttpRequestParser negative;
+  ASSERT_EQ(FeedAll(&negative,
+                    "POST / HTTP/1.1\r\nContent-Length: -3\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(negative.error_status(), 400);
+}
+
+TEST(HttpParserTest, BodyOverLimitAnswers413) {
+  HttpRequestParser::Limits limits;
+  limits.max_body_bytes = 16;
+  HttpRequestParser parser(limits);
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, HeaderFloodAnswers431) {
+  HttpRequestParser::Limits limits;
+  limits.max_header_bytes = 256;
+  HttpRequestParser parser(limits);
+  // Drip headers without ever sending the terminating blank line; the
+  // parser must fail as soon as the buffer exceeds the limit rather than
+  // buffering an unbounded header block.
+  const std::string line = "X-Flood: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+  State state = FeedAll(&parser, "GET / HTTP/1.1\r\n");
+  for (int i = 0; i < 64 && state != State::kError; ++i) {
+    state = FeedAll(&parser, line);
+  }
+  ASSERT_EQ(state, State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+  EXPECT_LE(parser.buffered_bytes(), limits.max_header_bytes + line.size());
+}
+
+TEST(HttpParserTest, CompleteHeaderBlockOverLimitAnswers431) {
+  // The terminator arrived, but the block itself is over budget.
+  HttpRequestParser::Limits limits;
+  limits.max_header_bytes = 64;
+  HttpRequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\nX-Big: ";
+  wire.append(128, 'a');
+  wire += "\r\n\r\n";
+  ASSERT_EQ(FeedAll(&parser, wire), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, ChunkedEncodingRejected) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, ErrorStateIsSticky) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "bogus\r\n\r\n"), State::kError);
+  EXPECT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\n\r\n"), State::kError);
+}
+
+TEST(HttpParserTest, HeaderValueHasTokenUnits) {
+  EXPECT_TRUE(HeaderValueHasToken("close", "close"));
+  EXPECT_TRUE(HeaderValueHasToken("Close", "close"));
+  EXPECT_TRUE(HeaderValueHasToken("keep-alive, close", "close"));
+  EXPECT_TRUE(HeaderValueHasToken(" Keep-Alive ,  Upgrade ", "upgrade"));
+  EXPECT_FALSE(HeaderValueHasToken("close-enough", "close"));
+  EXPECT_FALSE(HeaderValueHasToken("keepalive", "keep-alive"));
+  EXPECT_FALSE(HeaderValueHasToken("", "close"));
+}
+
+TEST(HttpParserTest, IEqualsAsciiUnits) {
+  EXPECT_TRUE(IEqualsAscii("Content-Length", "content-length"));
+  EXPECT_TRUE(IEqualsAscii("", ""));
+  EXPECT_FALSE(IEqualsAscii("Content-Length", "content-length "));
+  EXPECT_FALSE(IEqualsAscii("a", "b"));
+}
+
+TEST(HttpParserTest, RenderHttpResponseExtraHeaders) {
+  HttpResponse response;
+  response.status = 405;
+  response.body = "{}\n";
+  response.extra_headers.push_back({"Allow", "GET, POST"});
+  const std::string wire = RenderHttpResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 405 Method Not Allowed\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Allow: GET, POST\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n\r\n{}\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace smptree

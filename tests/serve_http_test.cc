@@ -1,6 +1,9 @@
 // In-process end-to-end test of the HTTP serving surface: a real
 // InferenceService on an ephemeral loopback port, exercised through the
-// real HttpClientConnection -- actual sockets, actual wire format.
+// real HttpClientConnection -- actual sockets, actual wire format. The
+// whole suite runs twice, once per HTTP front end (epoll event loop and
+// threaded pool), which keeps the two serving paths behaviorally
+// interchangeable at the service level.
 
 #include <gtest/gtest.h>
 
@@ -58,7 +61,7 @@ DecisionTree LeafTree(ClassLabel label) {
   return tree;
 }
 
-class ServeHttpTest : public testing::Test {
+class ServeHttpTest : public testing::TestWithParam<HttpServer::FrontEnd> {
  protected:
   void SetUp() override {
     auto store = ModelStore::Create(CarTree());
@@ -67,6 +70,7 @@ class ServeHttpTest : public testing::Test {
     options.engine.num_workers = 2;
     options.http.port = 0;  // ephemeral
     options.http.num_threads = 2;
+    options.http.front_end = GetParam();
     service_ = std::make_unique<InferenceService>(std::move(*store), options);
     ASSERT_TRUE(service_->Start().ok());
     client_ = std::make_unique<HttpClientConnection>("127.0.0.1",
@@ -89,7 +93,7 @@ class ServeHttpTest : public testing::Test {
   std::unique_ptr<HttpClientConnection> client_;
 };
 
-TEST_F(ServeHttpTest, PredictMatchesTreeClassify) {
+TEST_P(ServeHttpTest, PredictMatchesTreeClassify) {
   const HttpClientResponse response = Call(
       "POST", "/v1/predict",
       R"({"tuples": [[20, "sedan"], [40, "sports"], [40, 0], [null, "sedan"]]})");
@@ -117,7 +121,7 @@ TEST_F(ServeHttpTest, PredictMatchesTreeClassify) {
   }
 }
 
-TEST_F(ServeHttpTest, PredictRejectsBadRequests) {
+TEST_P(ServeHttpTest, PredictRejectsBadRequests) {
   EXPECT_EQ(Call("POST", "/v1/predict", "{not json").status, 400);
   EXPECT_EQ(Call("POST", "/v1/predict", R"({"rows": []})").status, 400);
   EXPECT_EQ(Call("POST", "/v1/predict", R"({"tuples": []})").status, 400);
@@ -131,13 +135,13 @@ TEST_F(ServeHttpTest, PredictRejectsBadRequests) {
             400);
 }
 
-TEST_F(ServeHttpTest, RoutingErrors) {
+TEST_P(ServeHttpTest, RoutingErrors) {
   EXPECT_EQ(Call("GET", "/v1/nope").status, 404);
   EXPECT_EQ(Call("GET", "/v1/predict").status, 405);  // POST-only path
   EXPECT_EQ(Call("POST", "/healthz", "{}").status, 405);
 }
 
-TEST_F(ServeHttpTest, HealthzReportsEpoch) {
+TEST_P(ServeHttpTest, HealthzReportsEpoch) {
   const HttpClientResponse response = Call("GET", "/healthz");
   ASSERT_EQ(response.status, 200);
   auto doc = ParseJson(response.body);
@@ -146,7 +150,7 @@ TEST_F(ServeHttpTest, HealthzReportsEpoch) {
   EXPECT_EQ(doc->Find("epoch")->number_value(), 1.0);
 }
 
-TEST_F(ServeHttpTest, ReloadSwapsModelAndBumpsEpoch) {
+TEST_P(ServeHttpTest, ReloadSwapsModelAndBumpsEpoch) {
   const std::string path = testing::TempDir() + "/http_reload.tree";
   {
     std::ofstream out(path);
@@ -170,7 +174,7 @@ TEST_F(ServeHttpTest, ReloadSwapsModelAndBumpsEpoch) {
   EXPECT_EQ(pdoc->Find("labels")->array_items()[0].string_value(), "high");
 }
 
-TEST_F(ServeHttpTest, ReloadFailureKeepsServing) {
+TEST_P(ServeHttpTest, ReloadFailureKeepsServing) {
   EXPECT_EQ(Call("POST", "/v1/reload",
                  R"({"model": "/nonexistent/model.tree"})")
                 .status,
@@ -183,7 +187,7 @@ TEST_F(ServeHttpTest, ReloadFailureKeepsServing) {
   EXPECT_EQ(ParseJson(predict.body)->Find("epoch")->number_value(), 1.0);
 }
 
-TEST_F(ServeHttpTest, StatzCountsTraffic) {
+TEST_P(ServeHttpTest, StatzCountsTraffic) {
   for (int i = 0; i < 3; ++i) {
     ASSERT_EQ(
         Call("POST", "/v1/predict", R"({"tuples": [[20, 0], [40, 1]]})")
@@ -200,14 +204,33 @@ TEST_F(ServeHttpTest, StatzCountsTraffic) {
   EXPECT_EQ(doc->Find("workers")->number_value(), 2.0);
   ASSERT_NE(doc->Find("latency"), nullptr);
   EXPECT_GE(doc->Find("latency")->Find("p99_ms")->number_value(), 0.0);
+  // Connection-path counters from whichever front end is serving.
+  const JsonValue* http = doc->Find("http");
+  ASSERT_NE(http, nullptr) << response.body;
+  EXPECT_EQ(http->Find("front_end")->string_value(),
+            GetParam() == HttpServer::FrontEnd::kEpoll ? "epoll"
+                                                       : "threaded");
+  EXPECT_GE(http->Find("accepted")->number_value(), 1.0);
+  EXPECT_GE(http->Find("requests")->number_value(), 4.0);
+  EXPECT_EQ(http->Find("open_connections")->number_value(), 1.0);
+  EXPECT_EQ(http->Find("protocol_errors")->number_value(), 0.0);
 }
 
-TEST_F(ServeHttpTest, KeepAliveServesSequentialRequests) {
+TEST_P(ServeHttpTest, KeepAliveServesSequentialRequests) {
   // Same connection, many requests -- exercises the keep-alive loop.
   for (int i = 0; i < 10; ++i) {
     ASSERT_EQ(Call("GET", "/healthz").status, 200);
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFrontEnds, ServeHttpTest,
+    testing::Values(HttpServer::FrontEnd::kEpoll,
+                    HttpServer::FrontEnd::kThreaded),
+    [](const testing::TestParamInfo<HttpServer::FrontEnd>& info) {
+      return info.param == HttpServer::FrontEnd::kEpoll ? "Epoll"
+                                                        : "Threaded";
+    });
 
 TEST(ServeHttpReloadDisabledTest, ReloadAnswers403) {
   auto store = ModelStore::Create(CarTree());

@@ -29,6 +29,11 @@ Two input formats, detected automatically:
       ./build/bench/infer_throughput --out infer.json
       python3 tools/bench_to_json.py infer.json -o BENCH_infer.json
 
+  * "suite": "serve_scaling" JSON from bench/serve_scaling
+    -> BENCH_serve.json
+      ./build/bench/serve_scaling --out serve.json
+      python3 tools/bench_to_json.py serve.json -o BENCH_serve.json
+
 Validation mode schema-checks checked-in artifacts instead of converting:
 
       python3 tools/bench_to_json.py --validate [BENCH_x.json ...]
@@ -411,6 +416,71 @@ def convert_infer(raw, output):
     return 0
 
 
+def convert_serve(raw, output):
+    """Passes the open-loop connection-scaling rows through (rounded) and
+    derives the headline claim EXPERIMENTS.md quotes: the largest
+    connection count the epoll front end served with zero errors and zero
+    drops, and its ratio to the dispatch-thread count. An epoll row at
+    <= dispatch_threads connections proves nothing about the event loop,
+    so the derived ratio only counts rows past the thread count."""
+    runs = []
+    errors = []
+    for run in raw.get("runs", []):
+        try:
+            runs.append({
+                "front_end": run["front_end"],
+                "connections": run["connections"],
+                "dispatch_threads": run["dispatch_threads"],
+                "offered_rps": round(run["offered_rps"], 1),
+                "batch": run["batch"],
+                "sent": run["sent"],
+                "dropped": run["dropped"],
+                "timeouts": run["timeouts"],
+                "errors": run["errors"],
+                "tuples_per_second": round(run["tuples_per_second"], 1),
+                "p50_ms": round(run["p50_ms"], 3),
+                "p99_ms": round(run["p99_ms"], 3),
+            })
+        except KeyError as e:
+            errors.append(
+                f"run {run.get('front_end', '?')}/"
+                f"C{run.get('connections', '?')}: missing {e}")
+
+    derived = None
+    if runs:
+        threads = runs[0]["dispatch_threads"]
+        clean = [r["connections"] for r in runs
+                 if r["front_end"] == "epoll" and r["errors"] == 0
+                 and r["dropped"] == 0]
+        max_clean = max(clean, default=0)
+        derived = {
+            "dispatch_threads": threads,
+            "epoll_max_clean_connections": max_clean,
+            "epoll_connections_per_thread":
+                round(max_clean / threads, 2) if threads else None,
+        }
+
+    out = {
+        "schema_version": 1,
+        "suite": "serve_scaling",
+        "context": raw.get("context", {}),
+        "runs": runs,
+        "derived": derived,
+    }
+    with open(output, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {output} ({len(runs)} sweep points)")
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not runs:
+        print("error: no runs in input", file=sys.stderr)
+        return 1
+    return 0
+
+
 # Suite name -> (required top-level keys,
 #                [(list key, required keys per item), ...]).
 VALIDATE_SCHEMAS = {
@@ -443,6 +513,12 @@ VALIDATE_SCHEMAS = {
                    "forest_speedup"]),
          ("batch_sweep", ["batch", "tree_pointer_ns_per_tuple",
                           "tree_flat_ns_per_tuple"])],
+    ),
+    "serve_scaling": (
+        ["schema_version", "suite", "context", "runs", "derived"],
+        [("runs", ["front_end", "connections", "dispatch_threads",
+                   "offered_rps", "batch", "sent", "dropped", "timeouts",
+                   "errors", "tuples_per_second", "p50_ms", "p99_ms"])],
     ),
 }
 
@@ -534,8 +610,8 @@ def main():
     ap.add_argument("-o", "--output", default=None,
                     help="output path (default BENCH_core.json, "
                          "BENCH_parallel.json, BENCH_forest.json, "
-                         "BENCH_binned.json, or BENCH_infer.json by "
-                         "detected suite)")
+                         "BENCH_binned.json, BENCH_infer.json, or "
+                         "BENCH_serve.json by detected suite)")
     ap.add_argument("--validate", action="store_true",
                     help="schema-check checked-in BENCH_*.json artifacts "
                          "instead of converting")
@@ -560,6 +636,8 @@ def main():
         return convert_binned(raw, args.output or "BENCH_binned.json")
     if raw.get("suite") == "infer_throughput":
         return convert_infer(raw, args.output or "BENCH_infer.json")
+    if raw.get("suite") == "serve_scaling":
+        return convert_serve(raw, args.output or "BENCH_serve.json")
     return convert_kernels(raw, args.output or "BENCH_core.json")
 
 

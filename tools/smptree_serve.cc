@@ -3,7 +3,12 @@
 //   smptree_serve --schema schema.txt --model model.tree
 //                 [--port 8080] [--address 127.0.0.1] [--workers 0]
 //                 [--http-threads 4] [--queue 128] [--no-reload]
-//                 [--build-stats stats.json]
+//                 [--front-end epoll|threaded] [--build-stats stats.json]
+//
+// --front-end picks the connection path: "epoll" (default) multiplexes
+// every connection over one event loop with --http-threads dispatch
+// workers; "threaded" is the legacy blocking pool where --http-threads
+// also caps live connections (kept as the parity oracle).
 //
 // Endpoints (see docs/SERVING.md): POST /v1/predict, POST /v1/reload,
 // GET /healthz, GET /statz. Prints "listening on <port>" once ready (port 0
@@ -47,7 +52,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: smptree_serve --schema F --model F [--port N]\n"
                "         [--address A] [--workers N] [--http-threads N]\n"
-               "         [--queue N] [--no-reload] [--build-stats F.json]\n");
+               "         [--queue N] [--no-reload] [--build-stats F.json]\n"
+               "         [--front-end epoll|threaded]\n");
   return 1;
 }
 
@@ -99,6 +105,14 @@ int Main(int argc, char** argv) {
   options.http.bind_address = get("address", "127.0.0.1");
   options.http.port = static_cast<uint16_t>(port);
   options.http.num_threads = static_cast<int>(http_threads);
+  const std::string front_end = get("front-end", "epoll");
+  if (front_end == "epoll") {
+    options.http.front_end = HttpServer::FrontEnd::kEpoll;
+  } else if (front_end == "threaded") {
+    options.http.front_end = HttpServer::FrontEnd::kThreaded;
+  } else {
+    return Fail("bad --front-end (want epoll or threaded): " + front_end);
+  }
   options.allow_reload = get("no-reload").empty();
 
   // Training-run BuildStats to embed in /statz ("build" section). Validate
@@ -125,11 +139,11 @@ int Main(int argc, char** argv) {
   const ServingModelPtr model = service.store().Current();
   std::printf(
       "smptree_serve: %s model %s (epoch %lld, %d trees, %lld nodes, "
-      "%d workers)\n",
+      "%d workers, %s front end)\n",
       model->kind_name(), model->source.c_str(),
       static_cast<long long>(model->epoch), model->num_trees(),
       static_cast<long long>(model->total_nodes()),
-      service.engine().num_workers());
+      service.engine().num_workers(), front_end.c_str());
   std::printf("listening on %u\n", static_cast<unsigned>(service.port()));
   std::fflush(stdout);
 
