@@ -318,7 +318,7 @@ Status BuildTreeBinned(const Dataset& data, const Quantizer& quantizer,
                   locals[static_cast<size_t>(t)];
               if (static_cast<size_t>(j) < other.size() &&
                   !other[static_cast<size_t>(j)].empty()) {
-                leaf.bins.Merge(other[static_cast<size_t>(j)]);
+                sink.Record(leaf.bins.Merge(other[static_cast<size_t>(j)]));
               }
             }
             sink.Record(VerifyLeafBins(quantizer, leaf));
@@ -344,7 +344,8 @@ Status BuildTreeBinned(const Dataset& data, const Quantizer& quantizer,
           BinnedLeaf& leaf =
               frontier[static_cast<size_t>(subtract_leaves[j])];
           leaf.bins = std::move(prev[static_cast<size_t>(leaf.parent)].bins);
-          leaf.bins.Subtract(frontier[static_cast<size_t>(leaf.sibling)].bins);
+          sink.Record(leaf.bins.Subtract(
+              frontier[static_cast<size_t>(leaf.sibling)].bins));
           sink.Record(VerifyLeafBins(quantizer, leaf));
         }
       }

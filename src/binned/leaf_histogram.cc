@@ -1,8 +1,20 @@
 #include "binned/leaf_histogram.h"
 
-#include <cassert>
+#include "util/string_util.h"
 
 namespace smptree {
+namespace {
+
+/// Shape-mismatch diagnostic shared by Merge and Subtract.
+Status ShapeMismatch(const char* op, const LeafHistogram& a,
+                     const LeafHistogram& b) {
+  return Status::InvalidArgument(StringPrintf(
+      "LeafHistogram::%s shape mismatch: %d bins x %d classes vs %d bins x "
+      "%d classes",
+      op, a.total_bins(), a.num_classes(), b.total_bins(), b.num_classes()));
+}
+
+}  // namespace
 
 void LeafHistogram::Reset(int total_bins, int num_classes) {
   total_bins_ = total_bins;
@@ -19,14 +31,22 @@ int64_t LeafHistogram::RowTotal(int flat_bin) const {
   return total;
 }
 
-void LeafHistogram::Merge(const LeafHistogram& other) {
-  assert(counts_.size() == other.counts_.size());
+Status LeafHistogram::Merge(const LeafHistogram& other) {
+  if (total_bins_ != other.total_bins_ ||
+      num_classes_ != other.num_classes_) {
+    return ShapeMismatch("Merge", *this, other);
+  }
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  return Status::OK();
 }
 
-void LeafHistogram::Subtract(const LeafHistogram& other) {
-  assert(counts_.size() == other.counts_.size());
+Status LeafHistogram::Subtract(const LeafHistogram& other) {
+  if (total_bins_ != other.total_bins_ ||
+      num_classes_ != other.num_classes_) {
+    return ShapeMismatch("Subtract", *this, other);
+  }
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] -= other.counts_[i];
+  return Status::OK();
 }
 
 }  // namespace smptree

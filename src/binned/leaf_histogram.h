@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/records.h"
+#include "util/status.h"
 
 namespace smptree {
 
@@ -50,11 +51,13 @@ class LeafHistogram {
   /// Tuples in one bin.
   int64_t RowTotal(int flat_bin) const;
 
-  /// this += other. Shapes must match.
-  void Merge(const LeafHistogram& other);
+  /// this += other. Returns InvalidArgument without touching any count if
+  /// the shapes differ (checked in every build type, not just debug).
+  Status Merge(const LeafHistogram& other);
 
-  /// this -= other (derive a child: parent - sibling). Shapes must match.
-  void Subtract(const LeafHistogram& other);
+  /// this -= other (derive a child: parent - sibling). Same shape contract
+  /// as Merge.
+  Status Subtract(const LeafHistogram& other);
 
  private:
   int total_bins_ = 0;

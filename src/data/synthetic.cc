@@ -255,41 +255,51 @@ Result<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
 
   TupleValues values(config.num_attrs);
   for (int64_t t = 0; t < config.num_tuples; ++t) {
-    const double salary = rng.UniformDouble(20000.0, 150000.0);
-    const double commission =
-        salary >= 75000.0 ? 0.0 : rng.UniformDouble(10000.0, 75000.0);
-    const int32_t elevel = static_cast<int32_t>(rng.Uniform(5));
-    const int32_t car = static_cast<int32_t>(rng.Uniform(20));
-    const int32_t zipcode = static_cast<int32_t>(rng.Uniform(9));
-    const double k = static_cast<double>(9 - zipcode);
-    const double hvalue = rng.UniformDouble(0.5 * k, 1.5 * k) * 100000.0;
-
-    values[kSalary].f = static_cast<float>(salary);
-    values[kCommission].f = static_cast<float>(commission);
-    values[kAge].f = static_cast<float>(rng.UniformDouble(20.0, 80.0));
-    values[kElevel].cat = elevel;
-    values[kCar].cat = car;
-    values[kZipcode].cat = zipcode;
-    values[kHvalue].f = static_cast<float>(hvalue);
-    values[kHyears].f = static_cast<float>(rng.UniformDouble(1.0, 30.0));
-    values[kHloan].f = static_cast<float>(rng.UniformDouble(0.0, 500000.0));
-
-    for (int a = kNumBaseAttrs; a < config.num_attrs; ++a) {
-      if (schema.attr(a).is_categorical()) {
-        values[a].cat = static_cast<int32_t>(
-            rng.Uniform(static_cast<uint64_t>(schema.attr(a).cardinality)));
-      } else {
-        values[a].f = static_cast<float>(rng.UniformDouble(0.0, 100000.0));
-      }
-    }
-
-    bool group_a = SyntheticGroupA(config.function, values);
-    if (config.label_noise > 0.0 && rng.Bernoulli(config.label_noise)) {
-      group_a = !group_a;
-    }
-    SMPTREE_RETURN_IF_ERROR(data.Append(values, group_a ? 0 : 1));
+    const ClassLabel label = GenerateSyntheticTuple(
+        schema, config.function, config.label_noise, &rng, &values);
+    SMPTREE_RETURN_IF_ERROR(data.Append(values, label));
   }
   return data;
+}
+
+ClassLabel GenerateSyntheticTuple(const Schema& schema, int function,
+                                  double label_noise, Random* rng,
+                                  TupleValues* out) {
+  TupleValues& values = *out;
+  const int num_attrs = schema.num_attrs();
+  const double salary = rng->UniformDouble(20000.0, 150000.0);
+  const double commission =
+      salary >= 75000.0 ? 0.0 : rng->UniformDouble(10000.0, 75000.0);
+  const int32_t elevel = static_cast<int32_t>(rng->Uniform(5));
+  const int32_t car = static_cast<int32_t>(rng->Uniform(20));
+  const int32_t zipcode = static_cast<int32_t>(rng->Uniform(9));
+  const double k = static_cast<double>(9 - zipcode);
+  const double hvalue = rng->UniformDouble(0.5 * k, 1.5 * k) * 100000.0;
+
+  values[kSalary].f = static_cast<float>(salary);
+  values[kCommission].f = static_cast<float>(commission);
+  values[kAge].f = static_cast<float>(rng->UniformDouble(20.0, 80.0));
+  values[kElevel].cat = elevel;
+  values[kCar].cat = car;
+  values[kZipcode].cat = zipcode;
+  values[kHvalue].f = static_cast<float>(hvalue);
+  values[kHyears].f = static_cast<float>(rng->UniformDouble(1.0, 30.0));
+  values[kHloan].f = static_cast<float>(rng->UniformDouble(0.0, 500000.0));
+
+  for (int a = kNumBaseAttrs; a < num_attrs; ++a) {
+    if (schema.attr(a).is_categorical()) {
+      values[a].cat = static_cast<int32_t>(
+          rng->Uniform(static_cast<uint64_t>(schema.attr(a).cardinality)));
+    } else {
+      values[a].f = static_cast<float>(rng->UniformDouble(0.0, 100000.0));
+    }
+  }
+
+  bool group_a = SyntheticGroupA(function, values);
+  if (label_noise > 0.0 && rng->Bernoulli(label_noise)) {
+    group_a = !group_a;
+  }
+  return group_a ? 0 : 1;
 }
 
 }  // namespace smptree

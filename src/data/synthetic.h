@@ -31,6 +31,7 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace smptree {
@@ -52,6 +53,15 @@ struct SyntheticConfig {
 
 /// Generates a dataset per `config`. Deterministic in (seed, config).
 Result<Dataset> GenerateSynthetic(const SyntheticConfig& config);
+
+/// Generates one Agrawal tuple in place: fills `values` (sized to
+/// `schema.num_attrs()`, a SyntheticSchema) and returns the label, advancing
+/// `rng` exactly as GenerateSynthetic does per tuple — the streaming source
+/// reuses this so a generator stream and a materialized dataset built from
+/// the same seed agree tuple for tuple.
+ClassLabel GenerateSyntheticTuple(const Schema& schema, int function,
+                                  double label_noise, Random* rng,
+                                  TupleValues* values);
 
 /// The nine-attribute base schema padded to `num_attrs`, with classes
 /// {"Group A", "Group B"}.

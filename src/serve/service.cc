@@ -227,6 +227,11 @@ HttpResponse InferenceService::HandleStatz(const HttpRequest&) {
     const size_t tail = response.body.rfind("}\n");
     response.body.insert(tail, ", \"build\": " + options_.build_stats_json);
   }
+  if (options_.stream_stats) {
+    // Live streaming-trainer counters, same splice as "build".
+    const size_t tail = response.body.rfind("}\n");
+    response.body.insert(tail, ", \"stream\": " + options_.stream_stats());
+  }
   return response;
 }
 

@@ -18,6 +18,7 @@
 #define SMPTREE_SERVE_SERVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -40,6 +41,11 @@ struct ServiceOptions {
   /// training-time phase/wait breakdown next to the serving metrics. Must be
   /// a single valid JSON object; smptree_serve validates it at startup.
   std::string build_stats_json;
+  /// Optional live producer of the /statz "stream" section (a JSON object),
+  /// wired by `smptree train-stream --serve-port` to the streaming builder's
+  /// StatsJson. Called on the statz handler's thread while training runs, so
+  /// it must be thread-safe (the builder's is: it reads relaxed atomics).
+  std::function<std::string()> stream_stats;
 };
 
 class InferenceService {

@@ -1,0 +1,482 @@
+#include "stream/hoeffding_builder.h"
+
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "core/tree_io.h"
+#include "util/string_util.h"
+
+namespace smptree {
+
+namespace {
+
+/// E for one (leaf, attr) of the streaming frontier: the same sweep as the
+/// batch engine's EvaluateBinnedLeafAttr, against the frozen sketch's cuts.
+/// `n_total` is the leaf's observed tuple count (== hist.Total()).
+void EvaluateStreamLeafAttr(const SketchQuantizer& sketch,
+                            const LeafHistogram& bins,
+                            const ClassHistogram& hist, int64_t n_total,
+                            int attr, const GiniOptions& gini,
+                            GiniScratch* scratch, SplitCandidate* out,
+                            int* out_bin) {
+  const int off = sketch.offset(attr);
+  const int nbins = sketch.num_bins(attr);
+  const int num_classes = hist.num_classes();
+  *out = SplitCandidate();
+  *out_bin = -1;
+
+  if (sketch.categorical(attr)) {
+    CountMatrix& matrix = scratch->matrix;
+    matrix.Reset(nbins, num_classes);
+    for (int b = 0; b < nbins; ++b) {
+      const std::span<const int64_t> row = bins.row(off + b);
+      for (int c = 0; c < num_classes; ++c) {
+        if (row[c] != 0) matrix.AddCount(b, c, row[c]);
+      }
+    }
+    *out = EvaluateCategoricalFromMatrix(attr, matrix, hist, gini, scratch);
+    return;
+  }
+
+  ClassHistogram& below = scratch->below;
+  ClassHistogram& above = scratch->above;
+  below.Reset(num_classes);
+  above = hist;
+  int64_t nl = 0;
+  SplitCandidate best;
+  int best_bin = -1;
+  for (int b = 0; b + 1 < nbins; ++b) {
+    const std::span<const int64_t> row = bins.row(off + b);
+    for (int c = 0; c < num_classes; ++c) {
+      if (row[c] == 0) continue;
+      below.Add(static_cast<ClassLabel>(c), row[c]);
+      above.Remove(static_cast<ClassLabel>(c), row[c]);
+      nl += row[c];
+    }
+    if (nl == 0) continue;     // nothing left of this cut yet
+    if (nl == n_total) break;  // all records left: no proper split remains
+    SplitCandidate candidate;
+    candidate.test.attr = attr;
+    candidate.test.threshold = sketch.cut(attr, b);
+    candidate.gini = SplitImpurityWithTotals(below, above, nl, n_total - nl,
+                                             gini.criterion);
+    candidate.left_count = nl;
+    candidate.right_count = n_total - nl;
+    if (candidate.BetterThan(best)) {
+      best = candidate;
+      best_bin = b;
+    }
+  }
+  *out = best;
+  *out_bin = best_bin;
+}
+
+/// Majority with ClassHistogram::Majority's tie rule (lowest label wins).
+ClassLabel MajorityOf(const std::vector<int64_t>& counts) {
+  ClassLabel best = 0;
+  int64_t best_count = counts.empty() ? 0 : counts[0];
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > best_count) {
+      best_count = counts[c];
+      best = static_cast<ClassLabel>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+HoeffdingTreeBuilder::HoeffdingTreeBuilder(const Schema& schema,
+                                           HoeffdingOptions options)
+    : schema_(schema), options_(std::move(options)), tree_(schema) {}
+
+Status HoeffdingTreeBuilder::Init() {
+  if (initialized_) return Status::InvalidArgument("Init called twice");
+  if (options_.delta <= 0.0 || options_.delta >= 1.0) {
+    return Status::InvalidArgument("delta outside (0, 1)");
+  }
+  if (options_.tau < 0.0) {
+    return Status::InvalidArgument("negative tau");
+  }
+  if (options_.grace_period < 1) {
+    return Status::InvalidArgument("grace_period must be >= 1");
+  }
+  if (options_.warmup_tuples < 0) {
+    return Status::InvalidArgument("negative warmup_tuples");
+  }
+  SketchQuantizer::Options sketch_options;
+  sketch_options.max_bins = options_.max_bins;
+  sketch_options.reservoir_size = options_.reservoir_size;
+  sketch_options.seed = options_.seed;
+  SMPTREE_RETURN_IF_ERROR(sketch_.Init(schema_, sketch_options));
+
+  tree_.CreateRoot(ClassHistogram(schema_.num_classes()));
+  initialized_ = true;
+  const int root_slot = NewLeafSlot(tree_.root());
+  (void)root_slot;
+  if (options_.warmup_tuples == 0) {
+    SMPTREE_RETURN_IF_ERROR(FreezeAndReplay());
+  }
+  return Status::OK();
+}
+
+Status HoeffdingTreeBuilder::Ingest(const StreamBatch& batch) {
+  if (!initialized_) {
+    return Status::InvalidArgument("Ingest before Init");
+  }
+  if (batch.tuples.size() != batch.labels.size()) {
+    return Status::InvalidArgument("batch tuple/label size mismatch");
+  }
+  for (size_t i = 0; i < batch.tuples.size(); ++i) {
+    SMPTREE_RETURN_IF_ERROR(IngestOne(batch.tuples[i], batch.labels[i]));
+  }
+  return Status::OK();
+}
+
+Status HoeffdingTreeBuilder::IngestOne(const TupleValues& values,
+                                       ClassLabel label) {
+  if (!initialized_) {
+    return Status::InvalidArgument("Ingest before Init");
+  }
+  if (static_cast<int>(values.size()) != schema_.num_attrs()) {
+    return Status::InvalidArgument(StringPrintf(
+        "tuple has %d values, schema has %d attrs",
+        static_cast<int>(values.size()), schema_.num_attrs()));
+  }
+  if (label >= schema_.num_classes()) {
+    return Status::InvalidArgument(
+        StringPrintf("label %d out of range", int{label}));
+  }
+
+  if (!sketch_.frozen()) {
+    sketch_.Observe(values);
+    warmup_.emplace_back(values, label);
+    counters_.tuples.fetch_add(1, std::memory_order_relaxed);
+    if (sketch_.observed() >= options_.warmup_tuples) {
+      SMPTREE_RETURN_IF_ERROR(FreezeAndReplay());
+    }
+  } else {
+    SMPTREE_RETURN_IF_ERROR(Route(values, label));
+    counters_.tuples.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (options_.snapshot_every > 0 && options_.publish) {
+    const int64_t t = counters_.tuples.load(std::memory_order_relaxed);
+    if (t % options_.snapshot_every == 0) {
+      SMPTREE_RETURN_IF_ERROR(Publish());
+    }
+  }
+  return Status::OK();
+}
+
+Status HoeffdingTreeBuilder::FreezeAndReplay() {
+  SMPTREE_RETURN_IF_ERROR(sketch_.Freeze());
+  counters_.sketch_bytes.store(sketch_.MemoryBytes(),
+                               std::memory_order_relaxed);
+  counters_.frozen.store(true, std::memory_order_relaxed);
+  // Size the histograms of the leaves that already exist (just the root
+  // unless warmup was zero-length).
+  uint64_t active_bytes = 0;
+  for (StreamLeaf& leaf : leaves_) {
+    if (leaf.node == kInvalidNode || !leaf.active) continue;
+    leaf.bins.Reset(sketch_.total_bins(), schema_.num_classes());
+    active_bytes += LeafBytes();
+  }
+  counters_.histogram_bytes.store(active_bytes, std::memory_order_relaxed);
+
+  for (const auto& [values, label] : warmup_) {
+    SMPTREE_RETURN_IF_ERROR(Route(values, label));
+  }
+  warmup_.clear();
+  warmup_.shrink_to_fit();
+  return Status::OK();
+}
+
+Status HoeffdingTreeBuilder::Route(const TupleValues& values,
+                                   ClassLabel label) {
+  NodeId id = tree_.root();
+  while (true) {
+    TreeNode& nd = tree_.mutable_node(id);
+    ++nd.class_counts[label];
+    if (nd.is_leaf()) break;
+    id = nd.split.GoesLeft(values[static_cast<size_t>(nd.split.attr)])
+             ? nd.left
+             : nd.right;
+  }
+  TreeNode& nd = tree_.mutable_node(id);
+  nd.majority = MajorityOf(nd.class_counts);
+
+  const int32_t slot = static_cast<size_t>(id) < slot_of_node_.size()
+                           ? slot_of_node_[static_cast<size_t>(id)]
+                           : -1;
+  if (slot < 0) {
+    return Status::Internal(
+        StringPrintf("leaf node %d has no stream slot", id));
+  }
+  StreamLeaf& leaf = leaves_[static_cast<size_t>(slot)];
+  leaf.hist.Add(label);
+  if (!leaf.active) return Status::OK();
+
+  const int num_attrs = schema_.num_attrs();
+  for (int a = 0; a < num_attrs; ++a) {
+    leaf.bins.Add(sketch_.offset(a) +
+                      sketch_.BinOf(a, values[static_cast<size_t>(a)]),
+                  label);
+  }
+  if (++leaf.since_eval >= options_.grace_period) {
+    return TrySplit(slot);
+  }
+  return Status::OK();
+}
+
+Status HoeffdingTreeBuilder::TrySplit(int slot) {
+  StreamLeaf& leaf = leaves_[static_cast<size_t>(slot)];
+  leaf.since_eval = 0;
+  const int64_t n = leaf.hist.Total();
+  if (n < 2 || leaf.hist.IsPure()) return Status::OK();
+
+  SplitCandidate best;
+  SplitCandidate second;
+  int best_bin = -1;
+  const int num_attrs = schema_.num_attrs();
+  for (int a = 0; a < num_attrs; ++a) {
+    SplitCandidate candidate;
+    int bin = -1;
+    EvaluateStreamLeafAttr(sketch_, leaf.bins, leaf.hist, n, a,
+                           options_.gini, &scratch_, &candidate, &bin);
+    if (candidate.BetterThan(best)) {
+      second = best;
+      best = candidate;
+      best_bin = bin;
+    } else if (candidate.BetterThan(second)) {
+      second = candidate;
+    }
+  }
+  if (!best.valid()) return Status::OK();
+
+  const double g0 = Impurity(leaf.hist, options_.gini.criterion);
+  const double gain = g0 - best.gini;
+  if (gain <= 1e-12) return Status::OK();
+
+  // Hoeffding bound on the impurity-difference estimate after n samples.
+  const int num_classes = schema_.num_classes();
+  const double range =
+      options_.gini.criterion == SplitCriterion::kEntropy
+          ? std::log2(static_cast<double>(num_classes))
+          : 1.0;
+  const double epsilon =
+      range * std::sqrt(std::log(1.0 / options_.delta) /
+                        (2.0 * static_cast<double>(n)));
+  const double gap = second.valid() ? second.gini - best.gini : gain;
+  if (gap > epsilon || epsilon < options_.tau) {
+    return DoSplit(slot, best, best_bin);
+  }
+  return Status::OK();
+}
+
+Status HoeffdingTreeBuilder::DoSplit(int slot, const SplitCandidate& best,
+                                     int best_bin) {
+  const int num_classes = schema_.num_classes();
+
+  // Observed partition of this leaf's tuples, from the winner's bin rows
+  // (the same derivation as the batch W phase).
+  ClassHistogram obs_left(num_classes);
+  ClassHistogram obs_right;
+  NodeId node = kInvalidNode;
+  {
+    const StreamLeaf& leaf = leaves_[static_cast<size_t>(slot)];
+    const int attr = best.test.attr;
+    const int off = sketch_.offset(attr);
+    const int nbins = sketch_.num_bins(attr);
+    for (int b = 0; b < nbins; ++b) {
+      const bool left = best.test.categorical ? best.test.SubsetContains(b)
+                                              : b <= best_bin;
+      if (!left) continue;
+      const std::span<const int64_t> row = leaf.bins.row(off + b);
+      for (int c = 0; c < num_classes; ++c) {
+        if (row[c] != 0) obs_left.Add(static_cast<ClassLabel>(c), row[c]);
+      }
+    }
+    obs_right = leaf.hist;
+    obs_right.Subtract(obs_left);
+    if (obs_left.Total() != best.left_count ||
+        obs_right.Total() != best.right_count) {
+      return Status::Corruption(StringPrintf(
+          "streaming split of node %d covers %lld/%lld observed tuples, "
+          "expected %lld/%lld",
+          leaf.node, static_cast<long long>(obs_left.Total()),
+          static_cast<long long>(obs_right.Total()),
+          static_cast<long long>(best.left_count),
+          static_cast<long long>(best.right_count)));
+    }
+    node = leaf.node;
+  }
+
+  // Partition the node's full counts (observed + created-with) exactly:
+  // created-with counts follow the observed ratio per class, and the right
+  // child takes the remainder, so parent == left + right class by class --
+  // the invariant DecisionTree::Validate() checks on every snapshot.
+  ClassHistogram left_counts(num_classes);
+  ClassHistogram right_counts(num_classes);
+  {
+    const TreeNode& nd = tree_.node(node);
+    const StreamLeaf& leaf = leaves_[static_cast<size_t>(slot)];
+    for (int c = 0; c < num_classes; ++c) {
+      const int64_t total = nd.class_counts[static_cast<size_t>(c)];
+      const int64_t observed = leaf.hist.count(c);
+      const int64_t created = total - observed;
+      const int64_t o0 = obs_left.count(c);
+      const int64_t c0 = observed > 0 ? created * o0 / observed : created / 2;
+      left_counts.Add(static_cast<ClassLabel>(c), o0 + c0);
+      right_counts.Add(static_cast<ClassLabel>(c), total - (o0 + c0));
+    }
+  }
+
+  tree_.SetSplit(node, best.test);
+  const NodeId left_child = tree_.AddChild(node, true, left_counts);
+  const NodeId right_child = tree_.AddChild(node, false, right_counts);
+
+  // Retire the parent's slot (its histogram storage is recycled by the
+  // children via the free list) and open two fresh leaves.
+  {
+    StreamLeaf& leaf = leaves_[static_cast<size_t>(slot)];
+    leaf.node = kInvalidNode;
+    leaf.hist.Clear();
+    leaf.since_eval = 0;
+    counters_.active_leaves.fetch_sub(1, std::memory_order_relaxed);
+    counters_.histogram_bytes.fetch_sub(LeafBytes(),
+                                        std::memory_order_relaxed);
+  }
+  slot_of_node_[static_cast<size_t>(node)] = -1;
+  free_slots_.push_back(slot);
+  (void)NewLeafSlot(left_child);
+  (void)NewLeafSlot(right_child);
+
+  counters_.splits.fetch_add(1, std::memory_order_relaxed);
+  EnforceBudget();
+  return Status::OK();
+}
+
+int HoeffdingTreeBuilder::NewLeafSlot(NodeId node) {
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<int>(leaves_.size());
+    leaves_.emplace_back();
+  }
+  StreamLeaf& leaf = leaves_[static_cast<size_t>(slot)];
+  leaf.node = node;
+  leaf.hist.Reset(schema_.num_classes());
+  leaf.since_eval = 0;
+  leaf.active = true;
+  if (sketch_.frozen()) {
+    leaf.bins.Reset(sketch_.total_bins(), schema_.num_classes());
+    counters_.histogram_bytes.fetch_add(LeafBytes(),
+                                        std::memory_order_relaxed);
+  }
+  if (static_cast<size_t>(node) >= slot_of_node_.size()) {
+    slot_of_node_.resize(static_cast<size_t>(tree_.num_nodes()), -1);
+  }
+  slot_of_node_[static_cast<size_t>(node)] = slot;
+  counters_.active_leaves.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void HoeffdingTreeBuilder::EnforceBudget() {
+  if (options_.memory_budget_bytes == 0) return;
+  const uint64_t leaf_bytes = LeafBytes();
+  if (leaf_bytes == 0) return;
+  while (counters_.histogram_bytes.load(std::memory_order_relaxed) >
+         options_.memory_budget_bytes) {
+    // Deactivate the least promising active leaf: few observed tuples or
+    // nearly pure means a split is far away, so its histogram earns the
+    // least. Always keep at least one leaf splittable.
+    int victim = -1;
+    double victim_promise = 0.0;
+    int active = 0;
+    for (size_t i = 0; i < leaves_.size(); ++i) {
+      const StreamLeaf& leaf = leaves_[i];
+      if (leaf.node == kInvalidNode || !leaf.active) continue;
+      ++active;
+      const double promise =
+          static_cast<double>(leaf.hist.Total()) *
+          Impurity(leaf.hist, options_.gini.criterion);
+      if (victim < 0 || promise < victim_promise) {
+        victim = static_cast<int>(i);
+        victim_promise = promise;
+      }
+    }
+    if (active <= 1 || victim < 0) break;
+    StreamLeaf& leaf = leaves_[static_cast<size_t>(victim)];
+    leaf.active = false;
+    leaf.bins = LeafHistogram();
+    counters_.active_leaves.fetch_sub(1, std::memory_order_relaxed);
+    counters_.deactivated_leaves.fetch_add(1, std::memory_order_relaxed);
+    counters_.histogram_bytes.fetch_sub(leaf_bytes,
+                                        std::memory_order_relaxed);
+  }
+}
+
+uint64_t HoeffdingTreeBuilder::LeafBytes() const {
+  return static_cast<uint64_t>(sketch_.total_bins()) *
+         static_cast<uint64_t>(schema_.num_classes()) * sizeof(int64_t);
+}
+
+Status HoeffdingTreeBuilder::Finish() {
+  if (!initialized_) {
+    return Status::InvalidArgument("Finish before Init");
+  }
+  if (!sketch_.frozen()) {
+    SMPTREE_RETURN_IF_ERROR(FreezeAndReplay());
+  }
+  return Publish();
+}
+
+Result<DecisionTree> HoeffdingTreeBuilder::Snapshot() const {
+  return DeserializeTree(schema_, SerializeTree(tree_));
+}
+
+Status HoeffdingTreeBuilder::Publish() {
+  if (!options_.publish) return Status::OK();
+  SMPTREE_ASSIGN_OR_RETURN(DecisionTree snapshot, Snapshot());
+  SMPTREE_RETURN_IF_ERROR(options_.publish(
+      std::move(snapshot), counters_.tuples.load(std::memory_order_relaxed)));
+  counters_.snapshots.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+StreamStats HoeffdingTreeBuilder::Stats() const {
+  StreamStats s;
+  s.tuples = counters_.tuples.load(std::memory_order_relaxed);
+  s.splits = counters_.splits.load(std::memory_order_relaxed);
+  s.active_leaves = counters_.active_leaves.load(std::memory_order_relaxed);
+  s.deactivated_leaves =
+      counters_.deactivated_leaves.load(std::memory_order_relaxed);
+  s.snapshots = counters_.snapshots.load(std::memory_order_relaxed);
+  s.nodes = tree_.num_nodes();
+  s.sketch_bytes = counters_.sketch_bytes.load(std::memory_order_relaxed);
+  s.histogram_bytes =
+      counters_.histogram_bytes.load(std::memory_order_relaxed);
+  s.frozen = counters_.frozen.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string HoeffdingTreeBuilder::StatsJson() const {
+  const StreamStats s = Stats();
+  return StringPrintf(
+      "{\"tuples\": %lld, \"splits\": %lld, \"active_leaves\": %lld, "
+      "\"deactivated_leaves\": %lld, \"snapshots\": %lld, \"nodes\": %lld, "
+      "\"sketch_bytes\": %llu, \"histogram_bytes\": %llu, \"frozen\": %s}",
+      static_cast<long long>(s.tuples), static_cast<long long>(s.splits),
+      static_cast<long long>(s.active_leaves),
+      static_cast<long long>(s.deactivated_leaves),
+      static_cast<long long>(s.snapshots), static_cast<long long>(s.nodes),
+      static_cast<unsigned long long>(s.sketch_bytes),
+      static_cast<unsigned long long>(s.histogram_bytes),
+      s.frozen ? "true" : "false");
+}
+
+}  // namespace smptree

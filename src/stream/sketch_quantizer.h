@@ -1,0 +1,100 @@
+// Online cut-point learning for the streaming builder: a bounded-memory
+// counterpart of binned/quantizer.h. Each continuous attribute keeps a
+// fixed-size uniform reservoir of observed values (algorithm R); once enough
+// of the stream has been seen, Freeze() turns the reservoirs into
+// quantile-spaced cut points and the quantizer becomes immutable -- from
+// then on it exposes the exact surface the binned evaluators expect
+// (num_bins / offset / cut / BinOf) under the same invariant:
+//
+//   bin(v) = #{ cuts c : c <= v }    so    bin(v) <= i  <=>  v < cuts[i]
+//
+// Cuts are real observed values, so the finished tree carries ordinary
+// `value < threshold` SplitTests and the serving path never sees a bin.
+// Categorical attributes map code -> bin exactly, as in the batch engine.
+//
+// Freezing the cuts once (rather than re-deriving them as the stream
+// drifts) keeps every LeafHistogram comparable across the whole run; the
+// cost is that cut placement reflects the warmup prefix, which the
+// reservoir's uniform sampling makes representative for stationary streams.
+
+#ifndef SMPTREE_STREAM_SKETCH_QUANTIZER_H_
+#define SMPTREE_STREAM_SKETCH_QUANTIZER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace smptree {
+
+/// Reservoir-sketch quantizer. Not thread-safe; one owner thread observes
+/// and freezes, after which the const surface is safe to share read-only.
+class SketchQuantizer {
+ public:
+  struct Options {
+    int max_bins = 64;        ///< bins per continuous attribute, in [2, 256]
+    int reservoir_size = 2048;  ///< samples kept per continuous attribute
+    uint64_t seed = 1;        ///< reservoir replacement randomness
+  };
+
+  /// Sizes the reservoirs for `schema`. Categorical cardinalities must fit
+  /// the uint8 bin space (<= 256), as in the batch quantizer.
+  Status Init(const Schema& schema, const Options& options);
+
+  /// Feeds one tuple's values into the reservoirs. No-op once frozen.
+  void Observe(const TupleValues& values);
+
+  /// Derives cuts from the reservoirs and fixes the bin layout. Idempotent;
+  /// fails if Init has not run. Attributes with an empty reservoir get a
+  /// single bin (no cuts), which simply yields no split candidates.
+  Status Freeze();
+
+  bool frozen() const { return frozen_; }
+  int64_t observed() const { return observed_; }
+
+  /// Reservoir + cut storage actually held, for the /statz memory line.
+  uint64_t MemoryBytes() const;
+
+  // Quantizer-compatible surface (valid after Freeze).
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+  bool categorical(int attr) const { return attrs_[attr].categorical; }
+  int num_bins(int attr) const { return attrs_[attr].num_bins; }
+  int num_cuts(int attr) const {
+    return static_cast<int>(attrs_[attr].cuts.size());
+  }
+  float cut(int attr, int i) const { return attrs_[attr].cuts[i]; }
+  int offset(int attr) const { return attrs_[attr].offset; }
+  int total_bins() const { return total_bins_; }
+
+  uint8_t BinOf(int attr, AttrValue v) const {
+    const AttrSketch& a = attrs_[attr];
+    if (a.categorical) return static_cast<uint8_t>(v.cat);
+    return static_cast<uint8_t>(
+        std::upper_bound(a.cuts.begin(), a.cuts.end(), v.f) - a.cuts.begin());
+  }
+
+ private:
+  struct AttrSketch {
+    bool categorical = false;
+    int num_bins = 0;
+    int offset = 0;
+    std::vector<float> reservoir;  ///< cleared by Freeze
+    std::vector<float> cuts;       ///< ascending; empty for categorical
+  };
+
+  std::vector<AttrSketch> attrs_;
+  Options options_;
+  Random rng_{1};
+  int64_t observed_ = 0;
+  int total_bins_ = 0;
+  bool initialized_ = false;
+  bool frozen_ = false;
+};
+
+}  // namespace smptree
+
+#endif  // SMPTREE_STREAM_SKETCH_QUANTIZER_H_

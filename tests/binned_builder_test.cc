@@ -100,7 +100,7 @@ TEST(LeafHistogramTest, SubtractionRecoversTheSibling) {
     }
   }
   LeafHistogram right = parent;
-  right.Subtract(left);
+  ASSERT_TRUE(right.Subtract(left).ok());
   for (int b = 0; b < 6; ++b) {
     for (int c = 0; c < 3; ++c) {
       EXPECT_EQ(right.count(b, c), expect_right.count(b, c))
@@ -110,7 +110,7 @@ TEST(LeafHistogramTest, SubtractionRecoversTheSibling) {
   }
   // And merging the halves rebuilds the parent.
   LeafHistogram rebuilt = left;
-  rebuilt.Merge(expect_right);
+  ASSERT_TRUE(rebuilt.Merge(expect_right).ok());
   for (int b = 0; b < 6; ++b) {
     for (int c = 0; c < 3; ++c) {
       EXPECT_EQ(rebuilt.count(b, c), parent.count(b, c));
@@ -130,6 +130,34 @@ TEST(LeafHistogramTest, ResetReusesShapeAndZeroes) {
   h.Clear();
   EXPECT_FALSE(h.empty());
   EXPECT_EQ(h.RowTotal(0), 0);
+}
+
+TEST(LeafHistogramTest, MergeAndSubtractRejectShapeMismatch) {
+  // Regression: a mismatched shape must come back as InvalidArgument and
+  // leave the destination untouched instead of corrupting counts.
+  LeafHistogram a, wrong_bins, wrong_classes;
+  a.Reset(4, 2);
+  a.Add(1, 1);
+  wrong_bins.Reset(5, 2);
+  wrong_bins.Add(0, 0);
+  wrong_classes.Reset(4, 3);
+  wrong_classes.Add(0, 0);
+
+  Status s = a.Merge(wrong_bins);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  s = a.Subtract(wrong_classes);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_EQ(a.count(1, 1), 1);
+  EXPECT_EQ(a.count(0, 0), 0);
+
+  // Matching shapes still work.
+  LeafHistogram b;
+  b.Reset(4, 2);
+  b.Add(1, 1);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(1, 1), 2);
+  ASSERT_TRUE(a.Subtract(b).ok());
+  EXPECT_EQ(a.count(1, 1), 1);
 }
 
 // ---------------------------------------------------------------- quantizer

@@ -10,6 +10,9 @@
 
 #include "core/tree_io.h"
 #include "data/schema_io.h"
+#include "data/synthetic.h"
+#include "stream/hoeffding_builder.h"
+#include "stream/stream_source.h"
 
 namespace smptree {
 namespace {
@@ -207,6 +210,80 @@ TEST(ModelStoreTest, ConcurrentReadersSeeMonotonicEpochs) {
   for (auto& th : readers) th.join();
   EXPECT_EQ(violations.load(), 0);
   EXPECT_EQ(store->epoch(), 1 + kInstalls);
+}
+
+TEST(ModelStoreTest, RapidSuccessivePublishesRaceScoringLoop) {
+  // The streaming trainer's hot-publish pattern: a burst of successive
+  // Install calls with real, growing snapshots, raced against scorers that
+  // keep classifying through both representations of whatever snapshot they
+  // hold. Run under TSan (the CI tsan job does) this proves the
+  // install/score paths share no unsynchronized state; run plain it checks
+  // epoch monotonicity and pointer/flat parity across every swap.
+  const Schema schema = SyntheticSchema(9);
+  HoeffdingOptions options;
+  options.warmup_tuples = 200;
+  options.grace_period = 50;
+  HoeffdingTreeBuilder builder(schema, options);
+  ASSERT_TRUE(builder.Init().ok());
+  auto initial = builder.Snapshot();
+  ASSERT_TRUE(initial.ok());
+  auto created = ModelStore::Create(std::move(*initial));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ModelStore* store = created->get();
+
+  SyntheticConfig probe_cfg;
+  probe_cfg.function = 1;
+  probe_cfg.num_attrs = 9;
+  probe_cfg.num_tuples = 32;
+  probe_cfg.seed = 555;
+  auto probes = GenerateSynthetic(probe_cfg);
+  ASSERT_TRUE(probes.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> scorers;
+  for (int t = 0; t < 3; ++t) {
+    scorers.emplace_back([&] {
+      int64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        ServingModelPtr model = store->Current();
+        if (model->epoch < last_epoch) violations.fetch_add(1);
+        last_epoch = model->epoch;
+        for (int64_t p = 0; p < probes->num_tuples(); ++p) {
+          const TupleValues values = probes->Tuple(p);
+          const ClassLabel pointer = model->Classify(values);
+          const ClassLabel flat = model->flat_tree.Classify(values);
+          if (pointer != flat ||
+              pointer >= model->schema().num_classes()) {
+            violations.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  // 100 publishes a few hundred training tuples apart, exactly what
+  // `train-stream --snapshot-every` produces.
+  SyntheticConfig stream_cfg;
+  stream_cfg.function = 1;
+  stream_cfg.num_attrs = 9;
+  stream_cfg.num_tuples = 0;  // unbounded
+  stream_cfg.seed = 42;
+  SyntheticStreamSource source(stream_cfg);
+  StreamBatch batch;
+  for (int i = 0; i < 100; ++i) {
+    auto n = source.NextBatch(300, &batch);
+    ASSERT_TRUE(n.ok());
+    ASSERT_TRUE(builder.Ingest(batch).ok());
+    auto snapshot = builder.Snapshot();
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    ASSERT_TRUE(store->Install(std::move(*snapshot), "rapid").ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : scorers) th.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(store->epoch(), 101);
+  EXPECT_GT(store->Current()->total_nodes(), 1);
 }
 
 }  // namespace

@@ -34,6 +34,11 @@ Two input formats, detected automatically:
       ./build/bench/serve_scaling --out serve.json
       python3 tools/bench_to_json.py serve.json -o BENCH_serve.json
 
+  * "suite": "stream_throughput" JSON from bench/stream_throughput
+    -> BENCH_stream.json
+      ./build/bench/stream_throughput --out stream.json
+      python3 tools/bench_to_json.py stream.json -o BENCH_stream.json
+
 Validation mode schema-checks checked-in artifacts instead of converting:
 
       python3 tools/bench_to_json.py --validate [BENCH_x.json ...]
@@ -41,6 +46,10 @@ Validation mode schema-checks checked-in artifacts instead of converting:
 With no files it globs BENCH_*.json in the current directory. Every file
 must parse, carry its suite's required keys, and contain no NaN/Infinity
 and no null in a required numeric field; any violation is a hard failure.
+A file named like a checked-in artifact (basename BENCH_*.json) must also
+carry the suite that belongs at that name -- BENCH_stream.json claiming
+"suite": "serve_scaling" is rejected, so an artifact can never be silently
+overwritten by the wrong bench's output.
 
 For the kernel suite the output is per-benchmark ns/record (derived from
 items_per_second) plus the AoS-vs-SoA / direct-vs-buffered speedup ratios.
@@ -56,6 +65,7 @@ any series is an error: speedups would be meaningless.
 
 import argparse
 import json
+import os
 import sys
 
 # (json key, slow family, fast family) -> derived "slow/fast" speedup.
@@ -481,6 +491,76 @@ def convert_serve(raw, output):
     return 0
 
 
+def convert_stream(raw, output):
+    """Passes the per-function stream-vs-batch comparison through (rounded,
+    accuracy curves intact) and derives the headline claim: on how many
+    functions the one-pass streaming tree lands within 2% held-out accuracy
+    of the batch binned engine, plus the worst delta, the slowest ingest
+    rate, and the largest bounded builder state. Deltas are reported as-is,
+    never clipped."""
+    runs = []
+    errors = []
+    for run in raw.get("runs", []):
+        try:
+            runs.append({
+                "function": run["function"],
+                "tuples": run["tuples"],
+                "stream_tuples_per_second":
+                    round(run["stream_tuples_per_second"], 1),
+                "stream_ns_per_tuple": round(run["stream_ns_per_tuple"], 1),
+                "stream_test_accuracy":
+                    round(run["stream_test_accuracy"], 6),
+                "batch_test_accuracy": round(run["batch_test_accuracy"], 6),
+                "accuracy_delta": round(run["accuracy_delta"], 6),
+                "within_2pct": run["within_2pct"],
+                "stream_nodes": run["stream_nodes"],
+                "batch_nodes": run["batch_nodes"],
+                "splits": run["splits"],
+                "deactivated_leaves": run["deactivated_leaves"],
+                "stream_state_bytes": run["stream_state_bytes"],
+                "accuracy_curve": run["accuracy_curve"],
+            })
+        except KeyError as e:
+            errors.append(f"run F{run.get('function', '?')}: missing {e}")
+
+    derived = None
+    if runs:
+        context = raw.get("context", {})
+        derived = {
+            "functions_within_2pct":
+                sum(1 for r in runs if r["within_2pct"]),
+            "functions_total": len(runs),
+            "worst_accuracy_delta":
+                round(min(r["accuracy_delta"] for r in runs), 6),
+            "min_stream_tuples_per_second":
+                round(min(r["stream_tuples_per_second"] for r in runs), 1),
+            "max_stream_state_bytes":
+                max(r["stream_state_bytes"] for r in runs),
+            "peak_rss_stream_only_kb":
+                context.get("peak_rss_stream_only_kb"),
+        }
+
+    out = {
+        "schema_version": 1,
+        "suite": "stream_throughput",
+        "context": raw.get("context", {}),
+        "runs": runs,
+        "derived": derived,
+    }
+    with open(output, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {output} ({len(runs)} functions)")
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not runs:
+        print("error: no runs in input", file=sys.stderr)
+        return 1
+    return 0
+
+
 # Suite name -> (required top-level keys,
 #                [(list key, required keys per item), ...]).
 VALIDATE_SCHEMAS = {
@@ -520,6 +600,26 @@ VALIDATE_SCHEMAS = {
                    "offered_rps", "batch", "sent", "dropped", "timeouts",
                    "errors", "tuples_per_second", "p50_ms", "p99_ms"])],
     ),
+    "stream_throughput": (
+        ["schema_version", "suite", "context", "runs", "derived"],
+        [("runs", ["function", "tuples", "stream_tuples_per_second",
+                   "stream_ns_per_tuple", "stream_test_accuracy",
+                   "batch_test_accuracy", "accuracy_delta", "within_2pct",
+                   "stream_nodes", "batch_nodes", "splits",
+                   "stream_state_bytes", "accuracy_curve"])],
+    ),
+}
+
+# Suite name -> the checked-in artifact basename it belongs at. A file
+# named BENCH_*.json whose suite maps to a different basename is invalid.
+SUITE_ARTIFACTS = {
+    "core_kernels": "BENCH_core.json",
+    "parallel_builders": "BENCH_parallel.json",
+    "forest_speedup": "BENCH_forest.json",
+    "binned_vs_sorted": "BENCH_binned.json",
+    "infer_throughput": "BENCH_infer.json",
+    "serve_scaling": "BENCH_serve.json",
+    "stream_throughput": "BENCH_stream.json",
 }
 
 
@@ -557,6 +657,11 @@ def validate_file(path):
     schema = VALIDATE_SCHEMAS.get(suite)
     if schema is None:
         return problems + [f"unknown suite {suite!r}"]
+    basename = os.path.basename(path)
+    expected = SUITE_ARTIFACTS.get(suite)
+    if basename.startswith("BENCH_") and expected and basename != expected:
+        problems.append(
+            f"suite {suite!r} belongs at {expected!r}, not {basename!r}")
     top_keys, list_specs = schema
     for key in top_keys:
         if key not in doc:
@@ -638,6 +743,8 @@ def main():
         return convert_infer(raw, args.output or "BENCH_infer.json")
     if raw.get("suite") == "serve_scaling":
         return convert_serve(raw, args.output or "BENCH_serve.json")
+    if raw.get("suite") == "stream_throughput":
+        return convert_stream(raw, args.output or "BENCH_stream.json")
     return convert_kernels(raw, args.output or "BENCH_core.json")
 
 

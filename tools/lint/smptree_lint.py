@@ -16,6 +16,11 @@ concurrency design (docs/STATIC_ANALYSIS.md has the full rationale):
                           MutexLock-style scope holds a lock
   status-must-use         util::Status results are never silently dropped
                           at statement level outside tests/
+  stream-source-blocking-io
+                          StreamSource implementations keep blocking I/O
+                          (shard reads, ifstream, fopen) inside the
+                          ReaderLoop read-ahead seam; the consumer-facing
+                          surface (NextBatch et al.) must never touch disk
 
 The tool is dependency-free on purpose: it runs on the stock python3 of any
 dev container or CI runner, with no LLVM/libclang install. It carries its
@@ -29,7 +34,7 @@ directly above:
     // lint: <tag>(<reason>)
 
 where <tag> is one of: atomic-order, unguarded, raw-span, blocking,
-status-discard. The reason string is mandatory; an empty reason is itself
+status-discard, stream-io. The reason string is mandatory; an empty reason is itself
 an (unwaivable) finding. Unused waivers are reported in the JSON summary.
 
 Usage:
@@ -62,6 +67,7 @@ WAIVER_TAGS = {
     "raw-span": "raii-span-pairing",
     "blocking": "no-blocking-under-lock",
     "status-discard": "status-must-use",
+    "stream-io": "stream-source-blocking-io",
 }
 
 # std::atomic member functions that take a std::memory_order parameter.
@@ -132,12 +138,29 @@ TRACE_IMPL_FILES = {"src/util/trace.h", "src/util/trace.cc"}
 # Return types whose results must be consumed. Result<T> carries a Status.
 STATUS_RETURN_TYPES = {"Status"}
 
+# Streaming ingest contract (src/stream/stream_source.h): classes derived
+# from StreamSource feed the Hoeffding builder on its own thread, so the
+# consumer-facing surface (NextBatch and friends) must never block on disk.
+# Blocking shard loads belong in the ReaderLoop read-ahead seam, which runs
+# on the source's private reader thread.
+STREAM_SOURCE_ROOT = "StreamSource"
+STREAM_READAHEAD_METHODS = {"ReaderLoop"}
+STREAM_BLOCKING_IO = {
+    # Project shard/file I/O (src/stream/shard_io.h, util file helpers).
+    "ReadCsv", "ReadBinaryShard", "WriteBinaryShard",
+    "ReadFile", "WriteFile",
+    # Standard library / posix file surface.
+    "ifstream", "ofstream", "fstream",
+    "fopen", "fread", "fwrite", "fgets", "fclose", "getline",
+}
+
 ALL_CHECKS = [
     "atomic-explicit-order",
     "guarded-by-coverage",
     "raii-span-pairing",
     "no-blocking-under-lock",
     "status-must-use",
+    "stream-source-blocking-io",
 ]
 
 # ---------------------------------------------------------------------------
@@ -349,7 +372,11 @@ def apply_waivers(findings, waivers):
     for f in findings:
         if f.check == "bad-waiver":
             continue
-        for w in by_line.get((f.check, f.line), ()):
+        # Prefer a waiver on the finding's own line over one on the line
+        # above, so adjacent per-line waivers each bind their own finding.
+        candidates = sorted(by_line.get((f.check, f.line), ()),
+                           key=lambda w: w.line != f.line)
+        for w in candidates:
             f.waived = True
             f.waiver_reason = w.reason
             w.used = True
@@ -493,8 +520,10 @@ def _is_all_caps_macro(name):
 
 
 def _scan_class_bodies(toks):
-    """Yields (class_name, body_start, body_end) for every class/struct with
-    a body, including nested ones."""
+    """Yields (class_name, base_names, body_start, body_end) for every
+    class/struct with a body, including nested ones. base_names is the set
+    of identifiers from the base clause (access specifiers and template
+    argument lists stripped)."""
     i, n = 0, len(toks)
     while i < n:
         t = toks[i]
@@ -514,14 +543,24 @@ def _scan_class_bodies(toks):
                 if j < n and toks[j].kind == "id" and toks[j].text == "final":
                     j += 1
                 # Base clause.
+                bases = set()
                 if j < n and toks[j].text == ":":
-                    while j < n and toks[j].text != "{":
-                        if toks[j].text == ";":
-                            break
+                    j += 1
+                    while j < n and toks[j].text not in ("{", ";"):
+                        tj = toks[j]
+                        if tj.text == "<":
+                            endt = match_template_args(toks, j,
+                                                       min(n, j + 64))
+                            if endt is not None:
+                                j = endt + 1
+                                continue
+                        if tj.kind == "id" and tj.text not in (
+                                "public", "protected", "private", "virtual"):
+                            bases.add(tj.text)
                         j += 1
                 if j < n and toks[j].text == "{":
                     end = match_bracket(toks, j)
-                    yield (name, j + 1, end)
+                    yield (name, bases, j + 1, end)
         i += 1
 
 
@@ -681,7 +720,7 @@ def _member_info(stmt):
 
 
 def check_guarded_by_coverage(path, toks, findings):
-    for cls, start, end in _scan_class_bodies(toks):
+    for cls, _bases, start, end in _scan_class_bodies(toks):
         stmts = _split_member_statements(toks, start, end)
         # Does this class own a Mutex directly?
         owns_mutex = False
@@ -933,6 +972,123 @@ def check_status_must_use(path, toks, findings, status_names):
 
 
 # ---------------------------------------------------------------------------
+# Check 6: stream-source-blocking-io
+# ---------------------------------------------------------------------------
+
+def collect_stream_source_classes(file_tokens):
+    """Names of classes deriving (transitively) from StreamSource across
+    all scanned files. Cross-file so out-of-line method definitions in a
+    .cc are matched against the hierarchy declared in the header."""
+    bases_by_class = {}
+    for toks in file_tokens.values():
+        for name, bases, _, _ in _scan_class_bodies(toks):
+            bases_by_class.setdefault(name, set()).update(bases)
+    derived = {STREAM_SOURCE_ROOT}
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in bases_by_class.items():
+            if name not in derived and bases & derived:
+                derived.add(name)
+                changed = True
+    derived.discard(STREAM_SOURCE_ROOT)
+    return derived
+
+
+def _method_bodies(toks, start, end):
+    """Yields (method_name, body_start, body_end) for in-class method
+    definitions inside a class body [start, end)."""
+    i = start
+    while i < end:
+        t = toks[i]
+        if t.kind == "id" and i + 1 < end and toks[i + 1].text == "(":
+            close = match_bracket(toks, i + 1)
+            j = close + 1
+            # Trailing qualifiers and annotation macros.
+            while j < end and toks[j].kind == "id" and \
+                    (toks[j].text in ("const", "override", "final",
+                                      "noexcept", "try")
+                     or _is_all_caps_macro(toks[j].text)):
+                if j + 1 < end and toks[j + 1].text == "(":
+                    j = match_bracket(toks, j + 1) + 1
+                else:
+                    j += 1
+            # Constructor member-initializer list.
+            if j < end and toks[j].text == ":":
+                while j < end and toks[j].text not in ("{", ";"):
+                    if toks[j].text == "(":
+                        j = match_bracket(toks, j) + 1
+                    else:
+                        j += 1
+            if j < end and toks[j].text == "{":
+                bclose = match_bracket(toks, j)
+                yield (t.text, j + 1, bclose)
+                i = bclose + 1
+                continue
+            i = close + 1
+            continue
+        i += 1
+
+
+def check_stream_source_blocking_io(path, toks, findings, stream_classes):
+    if not stream_classes:
+        return
+    n = len(toks)
+    regions = []  # (class, method, body_start, body_end) to scan
+
+    # In-class method definitions of StreamSource-derived classes.
+    for cls, _bases, start, end in _scan_class_bodies(toks):
+        if cls not in stream_classes:
+            continue
+        for meth, bstart, bend in _method_bodies(toks, start, end):
+            if meth not in STREAM_READAHEAD_METHODS:
+                regions.append((cls, meth, bstart, bend))
+
+    # Out-of-line definitions: `Type Class::Method(...) [quals] [: init] {`.
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.text == "::" and i >= 1 and toks[i - 1].kind == "id" and \
+                toks[i - 1].text in stream_classes and i + 1 < n and \
+                toks[i + 1].kind == "id" and i + 2 < n and \
+                toks[i + 2].text == "(":
+            cls, meth = toks[i - 1].text, toks[i + 1].text
+            close = match_bracket(toks, i + 2)
+            j = close + 1
+            while j < n and toks[j].kind == "id" and \
+                    (toks[j].text in ("const", "override", "noexcept")
+                     or _is_all_caps_macro(toks[j].text)):
+                j += 1
+            if j < n and toks[j].text == ":":
+                while j < n and toks[j].text not in ("{", ";"):
+                    if toks[j].text == "(":
+                        j = match_bracket(toks, j) + 1
+                    else:
+                        j += 1
+            if j < n and toks[j].text == "{":
+                bend = match_bracket(toks, j)
+                if meth not in STREAM_READAHEAD_METHODS:
+                    regions.append((cls, meth, j + 1, bend))
+                i = bend + 1
+                continue
+            i = close + 1
+            continue
+        i += 1
+
+    for cls, meth, bstart, bend in regions:
+        for k in range(bstart, bend):
+            tk = toks[k]
+            if tk.kind == "id" and tk.text in STREAM_BLOCKING_IO:
+                findings.append(Finding(
+                    "stream-source-blocking-io", path, tk.line,
+                    f"blocking I/O ({tk.text}) in StreamSource method "
+                    f"'{cls}::{meth}': the consumer-facing surface feeds "
+                    "the builder thread and must stay non-blocking; move "
+                    "the I/O into the ReaderLoop read-ahead seam or waive "
+                    "with '// lint: stream-io(<why>)'"))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -1033,6 +1189,8 @@ def main():
 
     status_names = collect_status_functions(file_tokens) \
         if "status-must-use" in checks else set()
+    stream_classes = collect_stream_source_classes(file_tokens) \
+        if "stream-source-blocking-io" in checks else set()
 
     findings = []
     all_waivers = []
@@ -1051,6 +1209,9 @@ def main():
         if "status-must-use" in checks and "tests/" not in rel and \
                 not rel.startswith("tests"):
             check_status_must_use(rel, toks, per_file, status_names)
+        if "stream-source-blocking-io" in checks:
+            check_stream_source_blocking_io(rel, toks, per_file,
+                                            stream_classes)
         waivers = parse_waivers(file_comments[path], rel, per_file)
         apply_waivers(per_file, waivers)
         findings.extend(per_file)

@@ -1,0 +1,49 @@
+// Fixture: stream-source-blocking-io -- StreamSource implementations must
+// not touch disk from the consumer-facing surface; the builder thread calls
+// NextBatch on its critical path, so only the ReaderLoop read-ahead seam
+// (which runs on the source's private reader thread) may block on I/O.
+
+namespace smptree {
+
+class StreamSource;
+struct Schema {};
+struct Dataset {};
+struct StreamBatch {};
+
+// In-class offender: NextBatch parses a shard on the builder thread.
+class EagerCsvSource : public StreamSource {
+ public:
+  long NextBatch(long max_tuples, StreamBatch* batch) {
+    auto rows = ReadCsv(schema_, path_);  // EXPECT: stream-source-blocking-io
+    return 0;
+  }
+
+ private:
+  Schema schema_;
+  const char* path_ = "data.csv";
+};
+
+// Out-of-line offender: the class body looks clean but the definition in
+// the .cc opens a file on every call.
+class LazyShardSource : public StreamSource {
+ public:
+  long NextBatch(long max_tuples, StreamBatch* batch);
+
+ private:
+  const char* path_ = "shard.bin";
+};
+
+long LazyShardSource::NextBatch(long max_tuples, StreamBatch* batch) {
+  std::ifstream in(path_);  // EXPECT: stream-source-blocking-io
+  return 0;
+}
+
+// Second-level subclass: the contract follows the hierarchy.
+class RetryingSource : public LazyShardSource {
+ public:
+  void Reload() {
+    auto d = ReadBinaryShard(Schema{}, "a.bin");  // EXPECT: stream-source-blocking-io
+  }
+};
+
+}  // namespace smptree

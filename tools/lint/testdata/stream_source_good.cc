@@ -1,0 +1,44 @@
+// Fixture: stream-source-blocking-io (clean cases). Disk-backed sources
+// may block only inside ReaderLoop, the read-ahead seam that runs on the
+// source's private reader thread; everything here follows that contract
+// or carries a reasoned waiver.
+
+namespace smptree {
+
+class StreamSource;
+struct Schema {};
+struct Dataset {};
+struct StreamBatch {};
+
+class ReadAheadSource : public StreamSource {
+ public:
+  // The consumer-facing surface only swaps in prefetched shards.
+  long NextBatch(long max_tuples, StreamBatch* batch) { return 0; }
+
+ private:
+  // All shard I/O happens on the reader thread.
+  void ReaderLoop() {
+    Dataset shard = ReadBinaryShard(schema_, path_);
+  }
+  Schema schema_;
+  const char* path_ = "shard.bin";
+};
+
+class CheckpointSource : public StreamSource {
+ public:
+  void Checkpoint() {
+    // lint: stream-io(one-shot recovery path, runs before streaming starts)
+    auto s = WriteFile(path_, "state");  // EXPECT-WAIVED: stream-source-blocking-io
+  }
+
+ private:
+  const char* path_ = "ckpt.bin";
+};
+
+// Not a StreamSource: free use of shard I/O is outside this contract.
+class ShardRepacker {
+ public:
+  void Repack() { Dataset d = ReadBinaryShard(Schema{}, "in.bin"); }
+};
+
+}  // namespace smptree

@@ -10,6 +10,10 @@
 //   smptree_cli train-forest --schema schema.txt --data data.csv
 //                     --trees 8 --threads 4 --model model.forest
 //                     [--schedule trees-first|inner-first] [--eval test.csv]
+//   smptree_cli train-stream --function 7 --tuples 1000000 --model model.tree
+//                     [--warmup 2000] [--grace 200] [--delta 1e-6] [--tau 0.05]
+//                     [--memory-budget BYTES] [--snapshot-every N]
+//                     [--serve-port P] [--eval test.csv]
 //   smptree_cli eval  --schema schema.txt --model model.tree --data test.csv
 //   smptree_cli show  --schema schema.txt --model model.tree --format dot
 //   smptree_cli predict --schema schema.txt --model model.tree
@@ -25,8 +29,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/classifier.h"
 #include "core/dot_export.h"
@@ -42,7 +49,11 @@
 #include "ensemble/forest_io.h"
 #include "infer/batch_scorer.h"
 #include "infer/flat_tree.h"
+#include "serve/service.h"
+#include "stream/hoeffding_builder.h"
+#include "stream/stream_source.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace smptree {
 namespace {
@@ -66,8 +77,8 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: smptree_cli <gen|train|train-forest|eval|show|predict>"
-               " [--flag value]...\n"
+               "usage: smptree_cli <gen|train|train-forest|train-stream|"
+               "eval|show|predict> [--flag value]...\n"
                "  gen:   --function N [--classes K] [--attrs A] [--tuples N]\n"
                "         [--seed S] [--noise P] --out DATA.csv [--schema-out F]\n"
                "  train: --schema F --data F --model F [--algorithm serial|\n"
@@ -82,6 +93,14 @@ int Usage() {
                "         [--trees T] [--schedule trees-first|inner-first]\n"
                "         [--concurrent-trees N] [--features-per-node M]\n"
                "         [--bootstrap 0|1] [--oob 0|1] [--forest-seed S]\n"
+               "  train-stream: --model F, input from --schema F --data\n"
+               "         SHARD[,SHARD...] (csv or binary shards) or the\n"
+               "         generator (--function N [--attrs A] [--tuples N]\n"
+               "         [--seed S] [--noise P]); knobs: [--max-bins B]\n"
+               "         [--reservoir N] [--warmup N] [--grace N] [--delta D]\n"
+               "         [--tau T] [--memory-budget BYTES] [--snapshot-every N]\n"
+               "         [--criterion gini|entropy] [--batch N]\n"
+               "         [--serve-port P (0 = ephemeral)] [--eval TEST.csv]\n"
                "  eval:  --schema F --model F --data F\n"
                "  show:  --schema F --model F [--format text|sql|dot]\n"
                "  predict: --schema F --model F --data F [--out F]\n");
@@ -116,6 +135,18 @@ Result<int64_t> IntFlag(const Flags& flags, const std::string& name,
   int64_t v = 0;
   if (!ParseInt64(raw, &v)) {
     return Status::InvalidArgument("flag --" + name + ": bad integer '" +
+                                   raw + "'");
+  }
+  return v;
+}
+
+Result<double> DoubleFlag(const Flags& flags, const std::string& name,
+                          double fallback) {
+  const std::string raw = GetFlag(flags, name);
+  if (raw.empty()) return fallback;
+  double v = 0.0;
+  if (!ParseDouble(raw, &v)) {
+    return Status::InvalidArgument("flag --" + name + ": bad number '" +
                                    raw + "'");
   }
   return v;
@@ -382,6 +413,160 @@ int RunTrain(const Flags& flags) {
   return 0;
 }
 
+/// `train-stream`: incremental Hoeffding-tree training (stream/) from either
+/// the Agrawal generator or sharded on-disk data, with optional live serving
+/// -- `--serve-port P` starts the full InferenceService and hot-publishes a
+/// snapshot into its ModelStore every `--snapshot-every` tuples, so /v1/predict
+/// answers with the current tree while training is still running and /statz
+/// carries a live "stream" section.
+int RunTrainStream(const Flags& flags) {
+  const std::string model_path = GetFlag(flags, "model");
+  if (model_path.empty()) return Fail("train-stream needs --model");
+
+  // Input: disk shards when --schema is given, the generator otherwise.
+  std::unique_ptr<StreamSource> source;
+  const std::string schema_path = GetFlag(flags, "schema");
+  if (!schema_path.empty()) {
+    SMPTREE_ASSIGN_OR_RETURN_CLI(Schema schema, ReadSchemaFile(schema_path));
+    const std::string data = GetFlag(flags, "data");
+    if (data.empty()) return Fail("train-stream with --schema needs --data");
+    SMPTREE_ASSIGN_OR_RETURN_CLI(
+        std::unique_ptr<DiskStreamSource> disk,
+        DiskStreamSource::Open(schema, SplitString(data, ',')));
+    source = std::move(disk);
+  } else {
+    SyntheticConfig cfg;
+    SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t function,
+                                 IntFlag(flags, "function", 1));
+    SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t attrs, IntFlag(flags, "attrs", 9));
+    SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t tuples,
+                                 IntFlag(flags, "tuples", 100000));
+    SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t seed, IntFlag(flags, "seed", 42));
+    SMPTREE_ASSIGN_OR_RETURN_CLI(double noise, DoubleFlag(flags, "noise", 0));
+    cfg.function = static_cast<int>(function);
+    cfg.num_attrs = static_cast<int>(attrs);
+    cfg.num_tuples = tuples;
+    cfg.seed = static_cast<uint64_t>(seed);
+    cfg.label_noise = noise;
+    source = std::make_unique<SyntheticStreamSource>(cfg);
+  }
+
+  HoeffdingOptions options;
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t max_bins,
+                               IntFlag(flags, "max-bins", 64));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t reservoir,
+                               IntFlag(flags, "reservoir", 2048));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(options.warmup_tuples,
+                               IntFlag(flags, "warmup", 2000));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(options.grace_period,
+                               IntFlag(flags, "grace", 200));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(options.delta,
+                               DoubleFlag(flags, "delta", 1e-6));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(options.tau, DoubleFlag(flags, "tau", 0.05));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(
+      int64_t budget,
+      IntFlag(flags, "memory-budget", int64_t{64} << 20));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(options.snapshot_every,
+                               IntFlag(flags, "snapshot-every", 0));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t sketch_seed,
+                               IntFlag(flags, "sketch-seed", 1));
+  options.max_bins = static_cast<int>(max_bins);
+  options.reservoir_size = static_cast<int>(reservoir);
+  options.memory_budget_bytes = static_cast<uint64_t>(budget);
+  options.seed = static_cast<uint64_t>(sketch_seed);
+  const std::string criterion = GetFlag(flags, "criterion", "gini");
+  if (criterion == "entropy") {
+    options.gini.criterion = SplitCriterion::kEntropy;
+  } else if (criterion != "gini") {
+    return Fail("--criterion must be gini or entropy");
+  }
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t serve_port,
+                               IntFlag(flags, "serve-port", -1));
+  SMPTREE_ASSIGN_OR_RETURN_CLI(int64_t batch_size, IntFlag(flags, "batch",
+                                                           1024));
+  if (batch_size < 1) return Fail("--batch must be >= 1");
+
+  // Declared before the builder so the publish hook (which captures it by
+  // reference) stays valid for the builder's whole life; filled in below,
+  // after Init, once there is a tree to seed the store with. Until then the
+  // hook is a no-op.
+  std::unique_ptr<InferenceService> service;
+  const bool serving = serve_port >= 0;
+  if (serving) {
+    if (options.snapshot_every == 0) options.snapshot_every = 10000;
+    options.publish = [&service](DecisionTree&& snapshot, int64_t tuples) {
+      if (service == nullptr) return Status::OK();
+      return service->store().Install(
+          std::move(snapshot),
+          StringPrintf("train-stream@%lld",
+                       static_cast<long long>(tuples)));
+    };
+  }
+
+  HoeffdingTreeBuilder builder(source->schema(), options);
+  Status s = builder.Init();
+  if (!s.ok()) return Fail(s.ToString());
+
+  if (serving) {
+    SMPTREE_ASSIGN_OR_RETURN_CLI(DecisionTree initial, builder.Snapshot());
+    SMPTREE_ASSIGN_OR_RETURN_CLI(std::unique_ptr<ModelStore> store,
+                                 ModelStore::Create(std::move(initial)));
+    ServiceOptions service_options;
+    service_options.http.port = static_cast<uint16_t>(serve_port);
+    service_options.stream_stats = [&builder] { return builder.StatsJson(); };
+    service = std::make_unique<InferenceService>(std::move(store),
+                                                 std::move(service_options));
+    s = service->Start();
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("serving on port %u while training "
+                "(hot-publish every %lld tuples)\n",
+                service->port(),
+                static_cast<long long>(options.snapshot_every));
+    // Scripts parse the port from redirected output while training runs.
+    std::fflush(stdout);
+  }
+
+  Timer timer;
+  StreamBatch batch;
+  while (true) {
+    auto delivered = source->NextBatch(batch_size, &batch);
+    if (!delivered.ok()) return Fail(delivered.status().ToString());
+    if (*delivered == 0) break;
+    s = builder.Ingest(batch);
+    if (!s.ok()) return Fail(s.ToString());
+  }
+  s = builder.Finish();
+  if (!s.ok()) return Fail(s.ToString());
+  const double seconds = timer.Seconds();
+
+  s = WriteFile(model_path, SerializeTree(builder.tree()));
+  if (!s.ok()) return Fail(s.ToString());
+
+  const StreamStats stats = builder.Stats();
+  std::printf(
+      "streamed %lld tuples in %.3fs (%.0f tuples/s)\n"
+      "tree: %lld nodes, %lld splits; %lld active + %lld deactivated "
+      "leaves\n"
+      "memory: %s sketch, %s leaf histograms; %lld snapshots published\n"
+      "model written to %s\n",
+      static_cast<long long>(stats.tuples), seconds,
+      seconds > 0 ? static_cast<double>(stats.tuples) / seconds : 0.0,
+      static_cast<long long>(stats.nodes),
+      static_cast<long long>(stats.splits),
+      static_cast<long long>(stats.active_leaves),
+      static_cast<long long>(stats.deactivated_leaves),
+      HumanBytes(stats.sketch_bytes).c_str(),
+      HumanBytes(stats.histogram_bytes).c_str(),
+      static_cast<long long>(stats.snapshots), model_path.c_str());
+  if (service != nullptr) service->Stop();
+
+  const std::string eval_path = GetFlag(flags, "eval");
+  if (!eval_path.empty()) {
+    return EvalModelOnCsv(source->schema(), model_path, eval_path);
+  }
+  return 0;
+}
+
 int RunTrainForest(const Flags& flags) {
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status().ToString());
@@ -538,6 +723,7 @@ int Main(int argc, char** argv) {
   if (command == "gen") return RunGen(*flags);
   if (command == "train") return RunTrain(*flags);
   if (command == "train-forest") return RunTrainForest(*flags);
+  if (command == "train-stream") return RunTrainStream(*flags);
   if (command == "eval") return RunEval(*flags);
   if (command == "show") return RunShow(*flags);
   if (command == "predict") return RunPredict(*flags);
